@@ -1,0 +1,41 @@
+"""E1 / Fig. 5 — benchmark statistics.
+
+Regenerates the Fig. 5 table: number of query tables/columns/tuples, lake
+tables/columns/tuples and average unionable tables per query for every
+benchmark used in the experiments.
+"""
+
+from repro.benchgen import benchmark_statistics, statistics_table
+
+from bench_common import (
+    imdb_benchmark,
+    santos_benchmark,
+    tus_benchmark,
+    tus_sampled_benchmark,
+    ugen_benchmark,
+)
+
+
+def _all_benchmarks():
+    return [
+        tus_benchmark(),
+        tus_sampled_benchmark(),
+        santos_benchmark(),
+        ugen_benchmark(),
+        imdb_benchmark(),
+    ]
+
+
+def test_fig5_benchmark_statistics(benchmark):
+    """Times statistics computation and prints the Fig. 5 table."""
+    benchmarks = _all_benchmarks()
+    rows = benchmark.pedantic(
+        lambda: [benchmark_statistics(b) for b in benchmarks], rounds=3, iterations=1
+    )
+    print("\n\n=== Fig. 5 — Benchmarks used in the experiments (generated scale) ===")
+    print(statistics_table(benchmarks))
+    # Shape assertions mirroring the paper's table structure.
+    by_name = {row.name: row for row in rows}
+    assert by_name["tus"].num_lake_tables > by_name["tus-sampled"].num_lake_tables
+    assert by_name["ugen-v1"].avg_unionable_tables_per_query == 10
+    assert all(row.num_query_tables > 0 for row in rows)

@@ -1,0 +1,102 @@
+"""E7 / Fig. 7 — diversification runtime vs number of input tuples (s) and
+number of output tuples (k).
+
+Fig. 7(a): runtime of DUST, GMC and CLT as the number of unionable input
+tuples grows (k fixed).  Fig. 7(b): runtime as k grows (s fixed).  Expected
+shape: GMC grows quadratically with s and roughly linearly with k, while DUST
+(and CLT) grow mildly with s and are essentially flat in k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DustConfig, DustDiversifier
+from repro.diversify import CLTDiversifier, DiversificationRequest, GMCDiversifier
+from repro.utils.rng import seeded_rng
+from repro.utils.timing import timed
+
+# Reduced-scale sweeps (paper: s up to 6K, k up to 500).
+S_VALUES = (250, 500, 1000, 1500)
+K_VALUES = (25, 50, 100, 150)
+FIXED_K = 50
+FIXED_S = 1000
+DIMENSION = 64
+
+
+def _synthetic_workload(num_tuples: int, num_query: int = 10):
+    rng = seeded_rng(77)
+    centers = rng.standard_normal((20, DIMENSION)) * 3
+    assignments = rng.integers(0, 20, size=num_tuples)
+    candidates = centers[assignments] + 0.2 * rng.standard_normal((num_tuples, DIMENSION))
+    query = centers[0] + 0.2 * rng.standard_normal((num_query, DIMENSION))
+    table_ids = [f"table_{a % 10}" for a in assignments]
+    return query, candidates, table_ids
+
+
+def _time_method(method, query, candidates, table_ids, k):
+    request = DiversificationRequest(
+        query_embeddings=query, candidate_embeddings=candidates, k=k
+    )
+    if isinstance(method, DustDiversifier):
+        _, elapsed = timed(method.select, request, table_ids=table_ids)
+    else:
+        _, elapsed = timed(method.select, request)
+    return elapsed
+
+
+def _methods():
+    return {
+        "gmc": GMCDiversifier(),
+        "clt": CLTDiversifier(),
+        "dust": DustDiversifier(DustConfig(prune_limit=2500)),
+    }
+
+
+@pytest.mark.benchmark(group="fig7a")
+def test_fig7a_runtime_vs_input_tuples(benchmark):
+    def sweep():
+        series = {name: [] for name in _methods()}
+        for s in S_VALUES:
+            query, candidates, table_ids = _synthetic_workload(s)
+            for name, method in _methods().items():
+                series[name].append(
+                    _time_method(method, query, candidates, table_ids, FIXED_K)
+                )
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n\n=== Fig. 7(a) — runtime (s) vs number of input tuples (k={FIXED_K}) ===")
+    print(f"{'s':>6} " + " ".join(f"{name:>10}" for name in series))
+    for index, s in enumerate(S_VALUES):
+        print(f"{s:>6} " + " ".join(f"{series[name][index]:>10.3f}" for name in series))
+
+    # GMC's runtime must grow much faster with s than DUST's (quadratic vs
+    # ~linear behaviour): compare the absolute increase from the smallest to
+    # the largest s, and require GMC to be clearly slower at the largest s.
+    gmc_increase = series["gmc"][-1] - series["gmc"][0]
+    dust_increase = series["dust"][-1] - series["dust"][0]
+    assert series["gmc"][-1] > 2.0 * series["dust"][-1]
+    assert gmc_increase > dust_increase
+
+
+@pytest.mark.benchmark(group="fig7b")
+def test_fig7b_runtime_vs_k(benchmark):
+    def sweep():
+        query, candidates, table_ids = _synthetic_workload(FIXED_S)
+        series = {name: [] for name in _methods()}
+        for k in K_VALUES:
+            for name, method in _methods().items():
+                series[name].append(_time_method(method, query, candidates, table_ids, k))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n\n=== Fig. 7(b) — runtime (s) vs number of output tuples (s={FIXED_S}) ===")
+    print(f"{'k':>6} " + " ".join(f"{name:>10}" for name in series))
+    for index, k in enumerate(K_VALUES):
+        print(f"{k:>6} " + " ".join(f"{series[name][index]:>10.3f}" for name in series))
+
+    # DUST is essentially insensitive to k, GMC is the slowest at the largest k.
+    assert series["gmc"][-1] > series["dust"][-1]
+    dust_growth = series["dust"][-1] / max(series["dust"][0], 1e-6)
+    gmc_growth = series["gmc"][-1] / max(series["gmc"][0], 1e-6)
+    assert dust_growth < gmc_growth

@@ -1,0 +1,86 @@
+"""E6 / Table 2 — tuple diversification effectiveness and efficiency.
+
+Runs GMC, GNE, CLT, the random baseline and DUST on every query of the
+SANTOS-style and UGEN-V1-style benchmarks, reporting (i) the number of queries
+where each method achieves the best Average / Min Diversity and (ii) the
+average time per query — the two halves of the paper's Table 2.
+
+Expected shape: DUST wins the most queries on both metrics; GMC is the
+strongest baseline on Average Diversity but several times slower than DUST;
+GNE is by far the slowest (and is therefore only run on the smaller UGEN-style
+benchmark, exactly as in the paper); random never wins.
+"""
+
+import pytest
+
+from repro.core import DustDiversifier, average_diversity
+from repro.diversify import (
+    CLTDiversifier,
+    DiversificationRequest,
+    GMCDiversifier,
+    GNEDiversifier,
+    RandomDiversifier,
+)
+from repro.diversify.random_select import best_of_random
+from repro.evaluation import count_wins, evaluate_diversifiers_on_benchmark
+from repro.evaluation.diversity import format_win_table
+
+from bench_common import SANTOS_K, UGEN_K, diversification_workloads
+
+
+def _best_of_five_random(workload, k):
+    """The paper's random baseline: best of five seeds per query (Sec. 6.4.3)."""
+    request = DiversificationRequest(
+        query_embeddings=workload.query_embeddings,
+        candidate_embeddings=workload.candidate_embeddings,
+        k=k,
+    )
+
+    def score(selection):
+        return average_diversity(
+            workload.query_embeddings, workload.candidate_embeddings[selection]
+        )
+
+    selection, _ = best_of_random(request, score, seeds=(1, 2, 3, 4, 5))
+    return selection
+
+
+def _methods(include_gne: bool):
+    methods = {
+        "gmc": GMCDiversifier(),
+        "clt": CLTDiversifier(),
+        "random": _best_of_five_random,
+        "dust": DustDiversifier(),
+    }
+    if include_gne:
+        methods["gne"] = GNEDiversifier(iterations=2, max_swaps=150, seed=1)
+    return methods
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize(
+    "benchmark_name,k,include_gne",
+    [("santos", SANTOS_K, False), ("ugen-v1", UGEN_K, True)],
+)
+def test_table2_diversification(benchmark, benchmark_name, k, include_gne):
+    workloads = diversification_workloads(benchmark_name)
+    methods = _methods(include_gne)
+    outcomes = benchmark.pedantic(
+        lambda: evaluate_diversifiers_on_benchmark(workloads, methods, k=k),
+        rounds=1,
+        iterations=1,
+    )
+    summary = count_wins(outcomes)
+    print(f"\n\n=== Table 2 — diversification on {benchmark_name} (k={k}) ===")
+    print(format_win_table(summary, benchmark=benchmark_name))
+
+    # Shape assertions mirroring the paper's findings.
+    assert summary["dust"]["min_wins"] >= max(
+        row["min_wins"] for name, row in summary.items() if name != "dust"
+    ), "DUST should win Min Diversity on the most queries"
+    assert summary["dust"]["average_wins"] >= summary["random"]["average_wins"]
+    assert summary["dust"]["mean_time"] <= summary["gmc"]["mean_time"], (
+        "DUST must not be slower than GMC"
+    )
+    if include_gne:
+        assert summary["gne"]["mean_time"] >= summary["dust"]["mean_time"]

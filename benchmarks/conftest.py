@@ -1,0 +1,13 @@
+"""Test configuration.
+
+Adds ``src/`` to ``sys.path`` so the test suite runs even when the package has
+not been pip-installed (useful in fully offline environments where editable
+installs require ``--no-build-isolation``).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,51 @@
+"""DUST — Diverse Unionable Tuple Search.
+
+Reproduction of Khatiwada, Shraga & Miller, *Diverse Unionable Tuple Search:
+Novelty-Driven Discovery in Data Lakes* (EDBT 2026).
+
+The public API is organised by subsystem:
+
+* :mod:`repro.core` — the DUST pipeline (Algorithm 1), the DUST diversifier
+  (Algorithm 2) and the diversity metrics (Eq. 1 / Eq. 2).
+* :mod:`repro.datalake` — tables, data lakes and CSV I/O.
+* :mod:`repro.search` — table union search techniques (overlap, Starmie-like,
+  D3L-like, SANTOS-like, ground-truth oracle).
+* :mod:`repro.alignment` — holistic and bipartite column alignment plus outer
+  union.
+* :mod:`repro.embeddings` — word/contextual encoders, column embedders and
+  tuple serialization.
+* :mod:`repro.models` — the DUST fine-tuned tuple model and baselines.
+* :mod:`repro.diversify` — IR diversification baselines (GMC, GNE, CLT, ...).
+* :mod:`repro.benchgen` — synthetic TUS / SANTOS / UGEN-V1 / IMDB benchmark
+  generators.
+* :mod:`repro.evaluation` — the experiment harness behind every table and
+  figure of the paper.
+"""
+
+from repro.core import (
+    DustConfig,
+    DustDiversifier,
+    DustPipeline,
+    DustResult,
+    PipelineConfig,
+    average_diversity,
+    diversity_scores,
+    min_diversity,
+)
+from repro.datalake import DataLake, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DustConfig",
+    "DustDiversifier",
+    "DustPipeline",
+    "DustResult",
+    "PipelineConfig",
+    "average_diversity",
+    "diversity_scores",
+    "min_diversity",
+    "DataLake",
+    "Table",
+    "__version__",
+]

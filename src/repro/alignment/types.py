@@ -1,0 +1,103 @@
+"""Data types shared by the column-alignment implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.datalake.table import Column
+
+
+@dataclass(frozen=True)
+class AlignedCluster:
+    """One cluster of mutually-aligned columns anchored on a query column.
+
+    Attributes
+    ----------
+    query_column:
+        The query table column every member of the cluster aligns with.
+    members:
+        Data lake columns assigned to this cluster (possibly empty when the
+        query column matched nothing in the discovered tables).
+    """
+
+    query_column: Column
+    members: tuple[Column, ...] = ()
+
+    def all_columns(self) -> tuple[Column, ...]:
+        """Query column followed by the data lake members."""
+        return (self.query_column, *self.members)
+
+
+@dataclass
+class ColumnAlignment:
+    """Result of aligning data lake table columns to a query table.
+
+    ``clusters`` holds one :class:`AlignedCluster` per query column (clusters
+    without any query column are discarded per Sec. 3.3).  ``discarded``
+    records the data lake columns that did not align with any query column —
+    they are excluded from the outer union (e.g. ``Park Phone`` in Example 3).
+    """
+
+    query_table_name: str
+    clusters: list[AlignedCluster] = field(default_factory=list)
+    discarded: list[Column] = field(default_factory=list)
+
+    # ---------------------------------------------------------------- lookups
+    def mapping_for_table(self, table_name: str) -> dict[str, str]:
+        """Map ``data lake column name -> query column name`` for one table."""
+        mapping: dict[str, str] = {}
+        for cluster in self.clusters:
+            for member in cluster.members:
+                if member.table_name == table_name:
+                    mapping[member.name] = cluster.query_column.name
+        return mapping
+
+    def query_columns(self) -> list[str]:
+        """Query column headers in cluster order."""
+        return [cluster.query_column.name for cluster in self.clusters]
+
+    def aligned_pairs(self) -> set[frozenset[str]]:
+        """All unordered pairs of qualified column names that are aligned.
+
+        This is the representation the evaluation metric of Sec. 6.2.2 works
+        with: pairs between the query column and each member, pairs between
+        members sharing a query column, and a self-pair for query columns with
+        no members (so unmatched query columns are still represented).
+        """
+        pairs: set[frozenset[str]] = set()
+        for cluster in self.clusters:
+            names = [column.qualified_name for column in cluster.all_columns()]
+            if len(names) == 1:
+                pairs.add(frozenset({names[0]}))
+                continue
+            for i, first in enumerate(names):
+                for second in names[i + 1 :]:
+                    pairs.add(frozenset({first, second}))
+        return pairs
+
+    def member_columns(self) -> list[Column]:
+        """All aligned data lake columns across clusters."""
+        return [member for cluster in self.clusters for member in cluster.members]
+
+    def tables_covered(self) -> list[str]:
+        """Names of data lake tables contributing at least one aligned column."""
+        names: list[str] = []
+        for member in self.member_columns():
+            if member.table_name not in names:
+                names.append(member.table_name)
+        return names
+
+    @staticmethod
+    def pairs_from_clusters(clusters: Iterable[Iterable[str]]) -> set[frozenset[str]]:
+        """Build the pair representation from raw clusters of qualified names."""
+        pairs: set[frozenset[str]] = set()
+        for cluster in clusters:
+            names = list(cluster)
+            if len(names) == 1:
+                pairs.add(frozenset({names[0]}))
+                continue
+            for i, first in enumerate(names):
+                for second in names[i + 1 :]:
+                    pairs.add(frozenset({first, second}))
+        return pairs

@@ -1,0 +1,101 @@
+"""Outer union of aligned tables into unionable tuples.
+
+After column alignment, DUST outer-unions the discovered tables with the
+query table's schema (Sec. 3.3): every data lake tuple is re-expressed over
+the query columns, padding columns its table does not cover with nulls, and
+data lake columns that aligned with no query column are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.alignment.types import ColumnAlignment
+from repro.datalake.table import Table
+from repro.embeddings.serialization import AlignedTuple
+from repro.utils.errors import AlignmentError
+
+
+def aligned_tuples_from_tables(
+    alignment: ColumnAlignment,
+    lake_tables: Sequence[Table],
+    *,
+    include_unaligned_tables: bool = False,
+) -> list[AlignedTuple]:
+    """Convert the rows of ``lake_tables`` into :class:`AlignedTuple` objects.
+
+    Parameters
+    ----------
+    alignment:
+        The column alignment anchored on the query table.
+    lake_tables:
+        The unionable tables returned by table union search.
+    include_unaligned_tables:
+        When false (default) tables none of whose columns aligned with any
+        query column contribute no tuples; when true their rows are emitted
+        with all-null values (useful for debugging recall issues).
+    """
+    tuples: list[AlignedTuple] = []
+    for table in lake_tables:
+        mapping = alignment.mapping_for_table(table.name)
+        if not mapping and not include_unaligned_tables:
+            continue
+        for position, row in enumerate(table.rows):
+            values = {
+                mapping[column]: row[index]
+                for index, column in enumerate(table.columns)
+                if column in mapping
+            }
+            tuples.append(
+                AlignedTuple(source_table=table.name, source_row=position, values=values)
+            )
+    return tuples
+
+
+def query_tuples(query_table: Table) -> list[AlignedTuple]:
+    """Express the query table's own rows as :class:`AlignedTuple` objects."""
+    return [
+        AlignedTuple(
+            source_table=query_table.name,
+            source_row=position,
+            values=dict(zip(query_table.columns, row)),
+        )
+        for position, row in enumerate(query_table.rows)
+    ]
+
+
+def outer_union(
+    query_table: Table,
+    alignment: ColumnAlignment,
+    lake_tables: Sequence[Table],
+    *,
+    include_query_rows: bool = True,
+    name: str | None = None,
+) -> Table:
+    """Materialise the outer union as a :class:`Table` over the query schema.
+
+    The result has exactly the query table's columns; each data lake tuple is
+    padded with ``None`` for query columns its source table does not cover
+    (Example 3: the single-column ``Park Phone`` cluster is discarded, missing
+    ``City`` values become nulls).
+    """
+    if alignment.query_table_name != query_table.name:
+        raise AlignmentError(
+            f"alignment was computed for query table {alignment.query_table_name!r}, "
+            f"not {query_table.name!r}"
+        )
+    columns = list(query_table.columns)
+    rows = []
+    provenance: list[tuple[str, int]] = []
+    if include_query_rows:
+        rows.extend(query_table.rows)
+        provenance.extend((query_table.name, i) for i in range(query_table.num_rows))
+    for aligned in aligned_tuples_from_tables(alignment, lake_tables):
+        rows.append(aligned.as_row(columns))
+        provenance.append((aligned.source_table, aligned.source_row))
+    return Table(
+        name=name or f"{query_table.name}__union",
+        columns=columns,
+        rows=rows,
+        metadata={"provenance": provenance},
+    )

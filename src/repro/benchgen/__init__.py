@@ -1,0 +1,42 @@
+"""Synthetic benchmark generators.
+
+The paper's experiments run on the public TUS, SANTOS and UGEN-V1 table union
+search benchmarks plus an IMDB-derived case-study lake.  The raw data behind
+those benchmarks is not available offline, so this package regenerates
+benchmarks *with the same construction procedure* the papers describe
+(select/project derivations of topical base tables, preserved binary
+relationships for SANTOS, small per-topic tables for UGEN-V1) over synthetic
+topical vocabularies.  Scale parameters default to values that keep the
+benchmark shapes of Fig. 5 while remaining laptop-friendly.
+"""
+
+from repro.benchgen.types import Benchmark, BenchmarkStatistics
+from repro.benchgen.vocab import VocabularyPools, topic_vocabulary
+from repro.benchgen.topics import TopicSpec, ColumnSpec, default_topics, topic_by_name
+from repro.benchgen.base_tables import generate_base_table
+from repro.benchgen.tus import generate_tus_benchmark, generate_tus_sampled_benchmark
+from repro.benchgen.santos import generate_santos_benchmark
+from repro.benchgen.ugen import generate_ugen_benchmark
+from repro.benchgen.imdb import generate_imdb_case_study
+from repro.benchgen.finetuning import generate_finetuning_dataset
+from repro.benchgen.stats import benchmark_statistics, statistics_table
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkStatistics",
+    "VocabularyPools",
+    "topic_vocabulary",
+    "TopicSpec",
+    "ColumnSpec",
+    "default_topics",
+    "topic_by_name",
+    "generate_base_table",
+    "generate_tus_benchmark",
+    "generate_tus_sampled_benchmark",
+    "generate_santos_benchmark",
+    "generate_ugen_benchmark",
+    "generate_imdb_case_study",
+    "generate_finetuning_dataset",
+    "benchmark_statistics",
+    "statistics_table",
+]

@@ -1,0 +1,54 @@
+"""Benchmark statistics (paper Fig. 5).
+
+Fig. 5 reports, for every benchmark, the number of query tables / columns /
+tuples, the number of lake tables / columns / tuples, and the average number
+of unionable tables per query.  These helpers compute the same rows for the
+generated benchmarks and format them as the table the benchmark harness
+prints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.benchgen.types import Benchmark, BenchmarkStatistics
+
+
+def benchmark_statistics(benchmark: Benchmark) -> BenchmarkStatistics:
+    """Compute the Fig. 5 statistics row for one benchmark."""
+    query_columns = sum(table.num_columns for table in benchmark.query_tables)
+    query_tuples = sum(table.num_rows for table in benchmark.query_tables)
+    if benchmark.ground_truth:
+        avg_unionable = sum(
+            len(tables) for tables in benchmark.ground_truth.values()
+        ) / len(benchmark.ground_truth)
+    else:
+        avg_unionable = 0.0
+    return BenchmarkStatistics(
+        name=benchmark.name,
+        num_query_tables=len(benchmark.query_tables),
+        num_query_columns=query_columns,
+        num_query_tuples=query_tuples,
+        num_lake_tables=benchmark.lake.num_tables,
+        num_lake_columns=benchmark.lake.num_columns,
+        num_lake_tuples=benchmark.lake.num_rows,
+        avg_unionable_tables_per_query=avg_unionable,
+    )
+
+
+def statistics_table(benchmarks: Iterable[Benchmark]) -> str:
+    """Format the Fig. 5 statistics of several benchmarks as an aligned table."""
+    rows = [benchmark_statistics(benchmark) for benchmark in benchmarks]
+    header = (
+        f"{'Benchmark':<14} {'Q.Tables':>9} {'Q.Cols':>7} {'Q.Tuples':>9} "
+        f"{'L.Tables':>9} {'L.Cols':>7} {'L.Tuples':>9} {'AvgUnion/Q':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<14} {row.num_query_tables:>9} {row.num_query_columns:>7} "
+            f"{row.num_query_tuples:>9} {row.num_lake_tables:>9} "
+            f"{row.num_lake_columns:>7} {row.num_lake_tuples:>9} "
+            f"{row.avg_unionable_tables_per_query:>11.1f}"
+        )
+    return "\n".join(lines)

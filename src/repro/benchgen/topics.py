@@ -1,0 +1,463 @@
+"""Topic specifications for synthetic base tables.
+
+The TUS benchmark derives its 5 000+ lake tables from 32 non-unionable base
+tables about distinct Open-Data topics; SANTOS uses 297 base tables from
+similar domains, and UGEN-V1 covers 50 LLM-chosen topics (mythology, movies,
+...).  Each :class:`TopicSpec` below describes one such base table: its column
+schema (names and value kinds) plus the topical vocabulary entity names are
+composed from.  Topics deliberately share *some* generic columns (Country,
+City, supervisor-style person columns) — exactly the partial overlap that
+makes column alignment non-trivial in the real benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchgen.vocab import VocabularyPools, topic_vocabulary
+from repro.utils.errors import BenchmarkError
+
+#: Supported value kinds for generated columns.
+COLUMN_KINDS = (
+    "entity",
+    "person",
+    "city",
+    "country",
+    "category",
+    "year",
+    "number",
+    "phone",
+    "id",
+    "address",
+    "descriptor",
+)
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of a topic's base table."""
+
+    name: str
+    kind: str
+    low: float = 0.0
+    high: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in COLUMN_KINDS:
+            raise BenchmarkError(
+                f"column {self.name!r} has unknown kind {self.kind!r}; "
+                f"expected one of {COLUMN_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """A topic: its vocabulary and base-table schema."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+    stems: tuple[str, ...]
+    suffixes: tuple[str, ...]
+    categories: tuple[str, ...]
+    descriptors: tuple[str, ...]
+
+    def vocabulary(self, seed: int = 0) -> VocabularyPools:
+        """Deterministic vocabulary pools for this topic."""
+        return topic_vocabulary(
+            self.name,
+            stems=self.stems,
+            suffixes=self.suffixes,
+            categories=self.categories,
+            descriptors=self.descriptors,
+            seed=seed,
+        )
+
+    @property
+    def relationship_columns(self) -> tuple[str, str]:
+        """The (subject, object) column pair defining the topic's key relationship.
+
+        SANTOS-style derivations must keep this pair together so that derived
+        tables preserve at least one binary relationship of the base table.
+        The convention is: the first ``entity`` column is the subject and the
+        first non-entity textual column is the object.
+        """
+        subject = next(
+            (column.name for column in self.columns if column.kind == "entity"),
+            self.columns[0].name,
+        )
+        object_ = next(
+            (
+                column.name
+                for column in self.columns
+                if column.name != subject
+                and column.kind in ("person", "category", "city", "country", "descriptor")
+            ),
+            self.columns[-1].name,
+        )
+        return subject, object_
+
+
+def _topic(
+    name: str,
+    columns: list[tuple[str, str] | tuple[str, str, float, float]],
+    stems: tuple[str, ...],
+    suffixes: tuple[str, ...],
+    categories: tuple[str, ...],
+    descriptors: tuple[str, ...],
+) -> TopicSpec:
+    specs = []
+    for column in columns:
+        if len(column) == 2:
+            specs.append(ColumnSpec(column[0], column[1]))
+        else:
+            specs.append(ColumnSpec(column[0], column[1], column[2], column[3]))
+    return TopicSpec(
+        name=name,
+        columns=tuple(specs),
+        stems=stems,
+        suffixes=suffixes,
+        categories=categories,
+        descriptors=descriptors,
+    )
+
+
+def default_topics() -> list[TopicSpec]:
+    """The built-in topic catalogue (36 distinct, non-unionable topics)."""
+    topics = [
+        _topic(
+            "parks",
+            [("Park Name", "entity"), ("Supervisor", "person"), ("City", "city"),
+             ("Country", "country"), ("Park Phone", "phone"), ("Area Acres", "number", 5, 900)],
+            ("Lake", "River", "Meadow", "Forest", "Lawn", "Hill", "Garden", "Chippewa", "Hyde", "Lawler"),
+            ("Park", "Reserve", "Commons", "Grounds"),
+            ("urban", "national", "state", "community", "botanical"),
+            ("trail", "playground", "picnic", "wetland", "wooded", "scenic"),
+        ),
+        _topic(
+            "paintings",
+            [("Painting", "entity"), ("Medium", "category"), ("Dimensions", "descriptor"),
+             ("Date", "year", 1880, 2022), ("Country", "country"), ("Artist", "person")],
+            ("Landscape", "Portrait", "Memory", "Northern", "Abstract", "Still", "Harbor", "Dusk"),
+            ("Study", "Composition", "No 2", "Series", "Panel"),
+            ("Oil on canvas", "Mixed media", "Watercolor", "Acrylic", "Tempera"),
+            ("gallery", "exhibit", "framed", "restored", "signed", "canvas"),
+        ),
+        _topic(
+            "movies",
+            [("Title", "entity"), ("Director", "person"), ("Genre", "category"),
+             ("Release Year", "year", 1950, 2024), ("Budget", "number", 100000, 250000000),
+             ("Language", "category"), ("Filming Location", "city")],
+            ("Midnight", "Silent", "Falling", "Last", "Crimson", "Echo", "Broken", "Distant"),
+            ("Horizon", "Promise", "Empire", "Voyage", "Legacy", "Station"),
+            ("Drama", "Comedy", "Thriller", "Documentary", "Animation", "Action", "Romance"),
+            ("award", "festival", "sequel", "premiere", "remastered", "cast"),
+        ),
+        _topic(
+            "schools",
+            [("School Name", "entity"), ("Principal", "person"), ("City", "city"),
+             ("Country", "country"), ("Enrollment", "number", 80, 4000), ("Grade Level", "category")],
+            ("Lincoln", "Riverside", "Oakwood", "Jefferson", "Hillcrest", "Washington", "Maplewood"),
+            ("Elementary", "Middle School", "High School", "Academy"),
+            ("public", "private", "charter", "magnet"),
+            ("campus", "curriculum", "athletics", "library", "stem", "arts"),
+        ),
+        _topic(
+            "hospitals",
+            [("Hospital", "entity"), ("Administrator", "person"), ("City", "city"),
+             ("Country", "country"), ("Beds", "number", 20, 1500), ("Specialty", "category"),
+             ("Contact", "phone")],
+            ("Mercy", "General", "Saint", "Memorial", "Providence", "Unity", "Harbor"),
+            ("Hospital", "Medical Center", "Clinic", "Infirmary"),
+            ("cardiology", "oncology", "pediatrics", "trauma", "maternity"),
+            ("ward", "surgical", "emergency", "outpatient", "icu", "rehab"),
+        ),
+        _topic(
+            "flights",
+            [("Flight Code", "id"), ("Airline", "entity"), ("Origin", "city"),
+             ("Destination", "city"), ("Duration Minutes", "number", 40, 900),
+             ("Aircraft", "category")],
+            ("Pacific", "Atlantic", "Polar", "Skyline", "Summit", "Harbor", "Northern"),
+            ("Airways", "Airlines", "Express", "Jet"),
+            ("A320", "B737", "B787", "A350", "E190"),
+            ("nonstop", "layover", "red-eye", "regional", "charter", "cargo"),
+        ),
+        _topic(
+            "restaurants",
+            [("Restaurant", "entity"), ("Chef", "person"), ("Cuisine", "category"),
+             ("City", "city"), ("Rating", "number", 1, 5), ("Address", "address")],
+            ("Olive", "Harvest", "Ember", "Saffron", "Juniper", "Copper", "Basil"),
+            ("Kitchen", "Bistro", "Table", "Grill", "Cafe"),
+            ("Italian", "Thai", "Mexican", "Japanese", "Indian", "French", "Vegan"),
+            ("tasting", "terrace", "brunch", "seasonal", "locally", "sourced"),
+        ),
+        _topic(
+            "sports_teams",
+            [("Team", "entity"), ("Coach", "person"), ("City", "city"),
+             ("League", "category"), ("Founded", "year", 1880, 2015), ("Stadium Capacity", "number", 2000, 95000)],
+            ("Falcons", "Wolves", "Mariners", "Comets", "Rangers", "Thunder", "Pioneers"),
+            ("FC", "United", "Athletic", "Club"),
+            ("premier", "national", "minor", "collegiate"),
+            ("season", "playoff", "championship", "roster", "derby", "home"),
+        ),
+        _topic(
+            "books",
+            [("Title", "entity"), ("Author", "person"), ("Genre", "category"),
+             ("Published", "year", 1900, 2024), ("Pages", "number", 60, 1200), ("Publisher", "entity")],
+            ("Shadow", "Garden", "Winter", "Letters", "Atlas", "Song", "House"),
+            ("of Secrets", "of Ash", "Chronicle", "Manifesto", "Reader"),
+            ("fiction", "biography", "poetry", "history", "science"),
+            ("hardcover", "paperback", "translated", "annotated", "bestselling", "edition"),
+        ),
+        _topic(
+            "songs",
+            [("Song", "entity"), ("Artist", "person"), ("Album", "entity"),
+             ("Genre", "category"), ("Duration Seconds", "number", 90, 600), ("Release Year", "year", 1960, 2024)],
+            ("Neon", "Velvet", "Paper", "Electric", "Lonely", "Golden", "Wildfire"),
+            ("Nights", "Hearts", "Dreams", "Avenue", "Anthem"),
+            ("pop", "rock", "jazz", "electronic", "folk", "hip hop"),
+            ("single", "acoustic", "remix", "live", "chart", "studio"),
+        ),
+        _topic(
+            "vehicles",
+            [("Model", "entity"), ("Manufacturer", "entity"), ("Body Type", "category"),
+             ("Year", "year", 1995, 2025), ("Price", "number", 9000, 160000), ("Horsepower", "number", 70, 800)],
+            ("Vista", "Strada", "Apex", "Nomad", "Pulse", "Aurora", "Titan"),
+            ("GT", "EX", "Sport", "Hybrid", "EV"),
+            ("sedan", "suv", "hatchback", "pickup", "coupe", "wagon"),
+            ("turbo", "awd", "diesel", "electric", "manual", "automatic"),
+        ),
+        _topic(
+            "employees",
+            [("Employee", "person"), ("Department", "category"), ("Title", "descriptor"),
+             ("Office City", "city"), ("Salary", "number", 32000, 240000), ("Hired", "year", 1990, 2025)],
+            ("Staff", "Team", "Division", "Unit"),
+            ("Group", "Office", "Branch"),
+            ("engineering", "finance", "marketing", "operations", "legal", "research"),
+            ("senior", "junior", "lead", "principal", "associate", "manager"),
+        ),
+        _topic(
+            "products",
+            [("Product", "entity"), ("Brand", "entity"), ("Category", "category"),
+             ("Price", "number", 2, 4000), ("Stock", "number", 0, 10000), ("SKU", "id")],
+            ("Nimbus", "Cascade", "Fusion", "Orbit", "Zephyr", "Quartz", "Vertex"),
+            ("Pro", "Mini", "Max", "Lite", "Plus"),
+            ("electronics", "kitchen", "outdoor", "office", "toys", "apparel"),
+            ("wireless", "compact", "refurbished", "limited", "bundle", "warranty"),
+        ),
+        _topic(
+            "animals",
+            [("Species", "entity"), ("Habitat", "category"), ("Conservation Status", "category"),
+             ("Average Weight Kg", "number", 0, 5000), ("Lifespan Years", "number", 1, 150), ("Region", "country")],
+            ("Spotted", "Crested", "Dwarf", "Giant", "Striped", "Horned", "Snowy"),
+            ("Fox", "Owl", "Turtle", "Antelope", "Salamander", "Heron"),
+            ("forest", "savanna", "wetland", "alpine", "coastal", "desert"),
+            ("nocturnal", "migratory", "endemic", "herbivore", "predator", "protected"),
+        ),
+        _topic(
+            "mountains",
+            [("Peak", "entity"), ("Range", "entity"), ("Country", "country"),
+             ("Elevation M", "number", 800, 8848), ("First Ascent", "year", 1850, 2020), ("Difficulty", "category")],
+            ("Eagle", "Storm", "Granite", "Frost", "Cloud", "Raven", "Summit"),
+            ("Peak", "Ridge", "Spire", "Dome"),
+            ("alpine", "volcanic", "glaciated", "trekking"),
+            ("basecamp", "couloir", "traverse", "exposed", "scramble", "route"),
+        ),
+        _topic(
+            "rivers",
+            [("River", "entity"), ("Country", "country"), ("Length Km", "number", 20, 6500),
+             ("Basin Area", "number", 100, 3000000), ("Outflow", "category"), ("Discharge", "number", 5, 200000)],
+            ("Clear", "Swift", "Bend", "Willow", "Stone", "Fall", "Otter"),
+            ("River", "Creek", "Fork", "Run"),
+            ("sea", "ocean", "lake", "delta", "estuary"),
+            ("tributary", "watershed", "floodplain", "navigable", "dammed", "rapids"),
+        ),
+        _topic(
+            "universities",
+            [("University", "entity"), ("Chancellor", "person"), ("City", "city"),
+             ("Country", "country"), ("Students", "number", 800, 70000), ("Founded", "year", 1500, 2010)],
+            ("Northeastern", "Waterloo", "Polytechnic", "Clarendon", "Ridgefield", "Hartwell"),
+            ("University", "Institute", "College"),
+            ("research", "liberal arts", "technical", "public", "private"),
+            ("faculty", "campus", "graduate", "tuition", "endowment", "alumni"),
+        ),
+        _topic(
+            "museums",
+            [("Museum", "entity"), ("Curator", "person"), ("City", "city"),
+             ("Country", "country"), ("Annual Visitors", "number", 5000, 8000000), ("Focus", "category")],
+            ("Heritage", "Modern", "Maritime", "Natural", "Royal", "City"),
+            ("Museum", "Gallery", "Collection"),
+            ("art", "history", "science", "archaeology", "design"),
+            ("exhibition", "archive", "curated", "interactive", "permanent", "touring"),
+        ),
+        _topic(
+            "bridges",
+            [("Bridge", "entity"), ("City", "city"), ("Country", "country"),
+             ("Span M", "number", 30, 3000), ("Opened", "year", 1850, 2024), ("Type", "category")],
+            ("Harbor", "Victory", "Union", "Centennial", "Granite", "Liberty"),
+            ("Bridge", "Crossing", "Viaduct"),
+            ("suspension", "arch", "cable-stayed", "truss", "bascule"),
+            ("pedestrian", "tolled", "retrofit", "landmark", "rail", "deck"),
+        ),
+        _topic(
+            "companies",
+            [("Company", "entity"), ("CEO", "person"), ("Industry", "category"),
+             ("Headquarters", "city"), ("Revenue Millions", "number", 1, 500000), ("Employees", "number", 5, 500000)],
+            ("Helix", "Marble", "Summit", "Cobalt", "Lantern", "Meridian", "Anchor"),
+            ("Labs", "Industries", "Holdings", "Systems", "Group"),
+            ("software", "manufacturing", "retail", "energy", "logistics", "biotech"),
+            ("startup", "public", "acquired", "founded", "global", "subsidiary"),
+        ),
+        _topic(
+            "diseases",
+            [("Condition", "entity"), ("Specialty", "category"), ("Prevalence Per 100k", "number", 1, 30000),
+             ("First Described", "year", 1700, 2015), ("Treatment", "descriptor"), ("Region", "country")],
+            ("Acute", "Chronic", "Hereditary", "Viral", "Seasonal", "Atypical"),
+            ("Syndrome", "Disorder", "Fever", "Deficiency"),
+            ("cardiology", "neurology", "immunology", "dermatology", "endocrinology"),
+            ("therapy", "vaccine", "screening", "antibiotic", "supportive", "remission"),
+        ),
+        _topic(
+            "recipes",
+            [("Dish", "entity"), ("Cuisine", "category"), ("Main Ingredient", "category"),
+             ("Prep Minutes", "number", 5, 240), ("Calories", "number", 80, 1800), ("Chef", "person")],
+            ("Roasted", "Braised", "Spiced", "Charred", "Stuffed", "Glazed"),
+            ("Stew", "Salad", "Curry", "Tart", "Skillet"),
+            ("lentil", "chicken", "salmon", "mushroom", "eggplant", "beef"),
+            ("simmer", "marinated", "garnish", "seasonal", "gluten-free", "family"),
+        ),
+        _topic(
+            "board_games",
+            [("Game", "entity"), ("Designer", "person"), ("Players", "number", 1, 10),
+             ("Playtime Minutes", "number", 10, 360), ("Published", "year", 1970, 2025), ("Mechanic", "category")],
+            ("Cascadia", "Harbor", "Relic", "Bastion", "Orchard", "Citadel"),
+            ("Quest", "Tactics", "Empire", "Saga"),
+            ("worker placement", "deck building", "area control", "cooperative", "roll and write"),
+            ("expansion", "solo", "campaign", "tile", "drafting", "legacy"),
+        ),
+        _topic(
+            "languages",
+            [("Language", "entity"), ("Family", "category"), ("Speakers Millions", "number", 0, 1200),
+             ("Script", "category"), ("Region", "country"), ("Status", "category")],
+            ("Northern", "Coastal", "Highland", "Insular", "Classical", "Modern"),
+            ("Tongue", "Dialect", "Creole"),
+            ("Indo-European", "Sino-Tibetan", "Afro-Asiatic", "Austronesian", "Uralic"),
+            ("official", "endangered", "liturgical", "tonal", "agglutinative", "romanized"),
+        ),
+        _topic(
+            "elections",
+            [("Election", "entity"), ("Country", "country"), ("Year", "year", 1950, 2026),
+             ("Turnout Percent", "number", 30, 95), ("Winner", "person"), ("Seats", "number", 50, 700)],
+            ("General", "Presidential", "Municipal", "Regional", "Federal"),
+            ("Election", "Ballot", "Referendum"),
+            ("parliamentary", "presidential", "local", "runoff"),
+            ("coalition", "incumbent", "landslide", "recount", "district", "mandate"),
+        ),
+        _topic(
+            "earthquakes",
+            [("Event", "entity"), ("Country", "country"), ("Magnitude", "number", 3, 9),
+             ("Depth Km", "number", 1, 700), ("Year", "year", 1900, 2026), ("Fault", "category")],
+            ("Offshore", "Inland", "Coastal", "Valley", "Plateau"),
+            ("Quake", "Tremor", "Aftershock"),
+            ("strike-slip", "thrust", "normal", "subduction"),
+            ("epicenter", "aftershocks", "tsunami", "seismic", "shaking", "rupture"),
+        ),
+        _topic(
+            "satellites",
+            [("Satellite", "entity"), ("Operator", "entity"), ("Launch Year", "year", 1960, 2026),
+             ("Orbit", "category"), ("Mass Kg", "number", 10, 12000), ("Purpose", "category")],
+            ("Aurora", "Sentinel", "Beacon", "Pathfinder", "Horizon", "Vanguard"),
+            ("Sat", "One", "II", "Explorer"),
+            ("LEO", "GEO", "MEO", "polar", "sun-synchronous"),
+            ("imaging", "communications", "navigation", "weather", "research", "relay"),
+        ),
+        _topic(
+            "festivals",
+            [("Festival", "entity"), ("City", "city"), ("Country", "country"),
+             ("Month", "category"), ("Attendance", "number", 500, 2000000), ("Genre", "category")],
+            ("Harvest", "Lantern", "Solstice", "Riverfront", "Harbor", "Midsummer"),
+            ("Festival", "Fair", "Carnival", "Week"),
+            ("January", "April", "June", "August", "October", "December"),
+            ("music", "film", "food", "folk", "arts", "heritage"),
+        ),
+        _topic(
+            "libraries",
+            [("Library", "entity"), ("Librarian", "person"), ("City", "city"),
+             ("Country", "country"), ("Volumes", "number", 5000, 20000000), ("Branches", "number", 1, 120)],
+            ("Carnegie", "Riverside", "Athenaeum", "Parkside", "Beacon", "Northgate"),
+            ("Library", "Reading Room", "Archive"),
+            ("public", "academic", "national", "special"),
+            ("catalog", "periodicals", "manuscripts", "digitized", "lending", "reference"),
+        ),
+        _topic(
+            "farms",
+            [("Farm", "entity"), ("Owner", "person"), ("Country", "country"),
+             ("Hectares", "number", 2, 20000), ("Primary Crop", "category"), ("Established", "year", 1800, 2020)],
+            ("Willow", "Clover", "Sunrise", "Prairie", "Hollow", "Brook"),
+            ("Farm", "Ranch", "Orchard", "Homestead"),
+            ("wheat", "dairy", "apples", "vineyard", "corn", "lavender"),
+            ("organic", "irrigated", "pasture", "greenhouse", "heritage", "cooperative"),
+        ),
+        _topic(
+            "mythology",
+            [("Myth", "entity"), ("Definition", "descriptor"), ("Synonyms", "descriptor"),
+             ("Origin", "category"), ("First Recorded", "year", 1, 1900)],
+            ("Chimera", "Siren", "Basilisk", "Minotaur", "Cyclops", "Griffon", "Kasha", "Succubus", "Hag", "Mugo"),
+            ("", "Spirit", "Beast"),
+            ("Greek", "Roman", "Japanese", "Norse", "Jewish", "Celtic", "Egyptian"),
+            ("monstrous", "winged", "serpent", "demon", "guardian", "trickster", "shapeshifter"),
+        ),
+        _topic(
+            "volcanoes",
+            [("Volcano", "entity"), ("Country", "country"), ("Elevation M", "number", 300, 6900),
+             ("Last Eruption", "year", 1500, 2025), ("Type", "category"), ("Alert Level", "category")],
+            ("Smoking", "Black", "Thunder", "Ash", "Ember", "Crater"),
+            ("Mount", "Caldera", "Cone"),
+            ("stratovolcano", "shield", "cinder cone", "lava dome"),
+            ("dormant", "active", "fumarole", "lahar", "pyroclastic", "monitored"),
+        ),
+        _topic(
+            "shipwrecks",
+            [("Vessel", "entity"), ("Country", "country"), ("Sank Year", "year", 1600, 2000),
+             ("Depth M", "number", 3, 4000), ("Cause", "category"), ("Captain", "person")],
+            ("Endeavour", "Resolute", "Mariner", "Tempest", "Sovereign", "Albatross"),
+            ("", "II", "Star"),
+            ("storm", "collision", "grounding", "fire", "torpedo"),
+            ("salvaged", "wreck", "cargo", "expedition", "diveable", "protected"),
+        ),
+        _topic(
+            "telescopes",
+            [("Telescope", "entity"), ("Observatory", "entity"), ("Country", "country"),
+             ("Aperture M", "number", 0, 40), ("First Light", "year", 1900, 2026), ("Waveband", "category")],
+            ("Summit", "Desert", "Polar", "Giant", "Twin", "Horizon"),
+            ("Telescope", "Array", "Observatory"),
+            ("optical", "radio", "infrared", "x-ray", "submillimeter"),
+            ("adaptive", "interferometer", "survey", "spectrograph", "dome", "mirror"),
+        ),
+        _topic(
+            "cheeses",
+            [("Cheese", "entity"), ("Country", "country"), ("Milk", "category"),
+             ("Aging Months", "number", 0, 60), ("Texture", "category"), ("Producer", "entity")],
+            ("Alpine", "Smoked", "Cave", "Farmhouse", "Harbor", "Meadow"),
+            ("Blue", "Gouda", "Tomme", "Cheddar"),
+            ("cow", "goat", "sheep", "buffalo"),
+            ("soft", "semi-hard", "hard", "washed-rind", "crumbly", "creamy"),
+        ),
+        _topic(
+            "marathons",
+            [("Race", "entity"), ("City", "city"), ("Country", "country"),
+             ("Finishers", "number", 200, 55000), ("Record Minutes", "number", 120, 200), ("Founded", "year", 1897, 2020)],
+            ("Lakeside", "Capital", "Harbor", "Twilight", "Valley", "Skyline"),
+            ("Marathon", "Half Marathon", "Ultra"),
+            ("road", "trail", "charity", "championship"),
+            ("qualifier", "elevation", "pacer", "split", "course", "finisher"),
+        ),
+    ]
+    return topics
+
+
+def topic_by_name(name: str) -> TopicSpec:
+    """Look up a built-in topic by name."""
+    for topic in default_topics():
+        if topic.name == name:
+            return topic
+    raise BenchmarkError(f"unknown topic {name!r}")

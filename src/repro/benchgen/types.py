@@ -1,0 +1,79 @@
+"""Benchmark container types shared by all generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.utils.errors import BenchmarkError
+
+
+@dataclass
+class Benchmark:
+    """A generated table-union-search benchmark.
+
+    Attributes
+    ----------
+    name:
+        Benchmark identifier (``"tus"``, ``"santos"``, ``"ugen-v1"``, ...).
+    lake:
+        The data lake tables.
+    query_tables:
+        The query tables (kept outside the lake, as in the original
+        benchmarks).
+    ground_truth:
+        ``query table name -> unionable lake table names``.
+    unionable_groups:
+        ``group id -> table names`` where all tables of a group (queries and
+        lake tables alike) derive from the same base table and are therefore
+        mutually unionable; tables in different groups are non-unionable.
+    """
+
+    name: str
+    lake: DataLake
+    query_tables: list[Table] = field(default_factory=list)
+    ground_truth: dict[str, list[str]] = field(default_factory=dict)
+    unionable_groups: dict[str, list[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lake_names = set(self.lake.table_names())
+        for query, tables in self.ground_truth.items():
+            missing = [name for name in tables if name not in lake_names]
+            if missing:
+                raise BenchmarkError(
+                    f"ground truth of query {query!r} references unknown lake "
+                    f"tables {missing[:3]}"
+                )
+
+    def query_table(self, name: str) -> Table:
+        """Return the query table called ``name``."""
+        for table in self.query_tables:
+            if table.name == name:
+                return table
+        raise BenchmarkError(f"benchmark {self.name!r} has no query table {name!r}")
+
+    def unionable_tables(self, query_name: str) -> list[Table]:
+        """Ground-truth unionable lake tables of a query."""
+        return [self.lake.get(name) for name in self.ground_truth.get(query_name, [])]
+
+    def group_of(self, table_name: str) -> str | None:
+        """Return the unionable group containing ``table_name`` (or ``None``)."""
+        for group, members in self.unionable_groups.items():
+            if table_name in members:
+                return group
+        return None
+
+
+@dataclass(frozen=True)
+class BenchmarkStatistics:
+    """The per-benchmark statistics reported in Fig. 5 of the paper."""
+
+    name: str
+    num_query_tables: int
+    num_query_columns: int
+    num_query_tuples: int
+    num_lake_tables: int
+    num_lake_columns: int
+    num_lake_tuples: int
+    avg_unionable_tables_per_query: float

@@ -1,0 +1,140 @@
+"""Vector distance functions.
+
+The paper uses cosine distance throughout (Sec. 4 and Sec. 6.4.1) and reports
+that Manhattan and Euclidean distances give the same relative ordering of the
+baselines; all three are provided here behind a common interface so the
+benchmark harness can sweep them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+#: Signature shared by all pairwise distance functions on single vectors.
+DistanceFunction = Callable[[np.ndarray, np.ndarray], float]
+
+
+def _as_2d(matrix: np.ndarray) -> np.ndarray:
+    array = np.asarray(matrix, dtype=np.float64)
+    if array.ndim == 1:
+        array = array[None, :]
+    if array.ndim != 2:
+        raise ValueError(f"expected a 1-D or 2-D array, got shape {array.shape}")
+    return array
+
+
+# --------------------------------------------------------------------- cosine
+def cosine_distance(first: np.ndarray, second: np.ndarray) -> float:
+    """Cosine distance ``1 - cos(first, second)`` in ``[0, 2]``.
+
+    Zero vectors are treated as maximally distant (distance 1.0) so that
+    fully-null tuples never look identical to real tuples.
+    """
+    first = np.asarray(first, dtype=np.float64).ravel()
+    second = np.asarray(second, dtype=np.float64).ravel()
+    norm_first = float(np.linalg.norm(first))
+    norm_second = float(np.linalg.norm(second))
+    if norm_first == 0.0 or norm_second == 0.0:
+        return 1.0
+    similarity = float(first @ second) / (norm_first * norm_second)
+    similarity = max(-1.0, min(1.0, similarity))
+    return 1.0 - similarity
+
+
+def cosine_distance_matrix(first: np.ndarray, second: np.ndarray | None = None) -> np.ndarray:
+    """Pairwise cosine distance matrix between the rows of two matrices."""
+    left = _as_2d(first)
+    right = left if second is None else _as_2d(second)
+    left_norms = np.linalg.norm(left, axis=1, keepdims=True)
+    right_norms = np.linalg.norm(right, axis=1, keepdims=True)
+    safe_left = np.where(left_norms == 0.0, 1.0, left_norms)
+    safe_right = np.where(right_norms == 0.0, 1.0, right_norms)
+    similarity = (left / safe_left) @ (right / safe_right).T
+    similarity = np.clip(similarity, -1.0, 1.0)
+    distances = 1.0 - similarity
+    # Zero vectors: force distance 1 to everything (and 0 to themselves when
+    # comparing a matrix with itself on the diagonal).
+    zero_left = (left_norms == 0.0).ravel()
+    zero_right = (right_norms == 0.0).ravel()
+    if zero_left.any():
+        distances[zero_left, :] = 1.0
+    if zero_right.any():
+        distances[:, zero_right] = 1.0
+    if second is None:
+        np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+# ------------------------------------------------------------------ euclidean
+def euclidean_distance(first: np.ndarray, second: np.ndarray) -> float:
+    """Euclidean (L2) distance."""
+    first = np.asarray(first, dtype=np.float64).ravel()
+    second = np.asarray(second, dtype=np.float64).ravel()
+    return float(np.linalg.norm(first - second))
+
+
+def euclidean_distance_matrix(first: np.ndarray, second: np.ndarray | None = None) -> np.ndarray:
+    """Pairwise Euclidean distance matrix."""
+    left = _as_2d(first)
+    right = left if second is None else _as_2d(second)
+    left_sq = np.sum(left**2, axis=1)[:, None]
+    right_sq = np.sum(right**2, axis=1)[None, :]
+    squared = left_sq + right_sq - 2.0 * (left @ right.T)
+    squared = np.maximum(squared, 0.0)
+    distances = np.sqrt(squared)
+    if second is None:
+        np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+# ------------------------------------------------------------------ manhattan
+def manhattan_distance(first: np.ndarray, second: np.ndarray) -> float:
+    """Manhattan (L1) distance."""
+    first = np.asarray(first, dtype=np.float64).ravel()
+    second = np.asarray(second, dtype=np.float64).ravel()
+    return float(np.sum(np.abs(first - second)))
+
+
+def manhattan_distance_matrix(first: np.ndarray, second: np.ndarray | None = None) -> np.ndarray:
+    """Pairwise Manhattan distance matrix (loops over the smaller side)."""
+    left = _as_2d(first)
+    right = left if second is None else _as_2d(second)
+    distances = np.zeros((left.shape[0], right.shape[0]), dtype=np.float64)
+    for i in range(left.shape[0]):
+        distances[i, :] = np.sum(np.abs(right - left[i]), axis=1)
+    if second is None:
+        np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+#: Named registry used by configuration objects and the benchmark harness.
+DISTANCE_FUNCTIONS: dict[str, DistanceFunction] = {
+    "cosine": cosine_distance,
+    "euclidean": euclidean_distance,
+    "manhattan": manhattan_distance,
+}
+
+#: Matrix-form counterparts of :data:`DISTANCE_FUNCTIONS`.
+DISTANCE_MATRIX_FUNCTIONS = {
+    "cosine": cosine_distance_matrix,
+    "euclidean": euclidean_distance_matrix,
+    "manhattan": manhattan_distance_matrix,
+}
+
+
+def pairwise_distance_matrix(
+    first: np.ndarray,
+    second: np.ndarray | None = None,
+    *,
+    metric: str = "cosine",
+) -> np.ndarray:
+    """Pairwise distance matrix for a named metric (cosine/euclidean/manhattan)."""
+    try:
+        matrix_function = DISTANCE_MATRIX_FUNCTIONS[metric]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown metric {metric!r}; available: {sorted(DISTANCE_MATRIX_FUNCTIONS)}"
+        ) from exc
+    return matrix_function(first, second)

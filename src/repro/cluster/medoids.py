@@ -1,0 +1,66 @@
+"""Medoid extraction from clusters.
+
+DUST and the CLT baseline select each cluster's medoid — the member closest to
+every other member — as the cluster's representative diverse tuple (Sec. 5.2),
+which is more robust to outliers than taking the centroid's nearest neighbour.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.distance import pairwise_distance_matrix
+from repro.utils.errors import ConfigurationError
+
+
+def cluster_members(labels: Sequence[int] | np.ndarray) -> dict[int, list[int]]:
+    """Group item indices by cluster label (labels returned sorted)."""
+    groups: dict[int, list[int]] = {}
+    for index, label in enumerate(labels):
+        groups.setdefault(int(label), []).append(index)
+    return {label: groups[label] for label in sorted(groups)}
+
+
+def medoid_index(
+    embeddings: np.ndarray,
+    member_indices: Sequence[int],
+    *,
+    metric: str = "cosine",
+) -> int:
+    """Return the index (into ``embeddings``) of the medoid of ``member_indices``.
+
+    The medoid is the member minimising the sum of distances to all other
+    members; ties are broken by the smaller index so the result is
+    deterministic.
+    """
+    if not member_indices:
+        raise ConfigurationError("medoid_index called with an empty member list")
+    if len(member_indices) == 1:
+        return int(member_indices[0])
+    members = np.asarray(embeddings, dtype=np.float64)[list(member_indices)]
+    distances = pairwise_distance_matrix(members, metric=metric)
+    totals = distances.sum(axis=1)
+    best_local = int(np.argmin(totals))
+    return int(member_indices[best_local])
+
+
+def cluster_medoids(
+    embeddings: np.ndarray,
+    labels: Sequence[int] | np.ndarray,
+    *,
+    metric: str = "cosine",
+) -> list[int]:
+    """Return one medoid index per cluster, ordered by cluster label."""
+    matrix = np.asarray(embeddings, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ConfigurationError(f"embeddings must be 2-D, got shape {matrix.shape}")
+    if len(labels) != matrix.shape[0]:
+        raise ConfigurationError(
+            f"{len(labels)} labels for {matrix.shape[0]} embeddings"
+        )
+    return [
+        medoid_index(matrix, members, metric=metric)
+        for members in cluster_members(labels).values()
+    ]

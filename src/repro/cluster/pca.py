@@ -1,0 +1,86 @@
+"""Principal component analysis.
+
+Fig. 2 of the paper plots 768-dimension table and tuple embeddings projected
+to two principal components to argue that *tuples* spread much more widely in
+the embedding space than *tables*.  This small PCA implementation (SVD on the
+centred data matrix) powers the Fig. 2 reproduction in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+class PCA:
+    """Principal component analysis via singular value decomposition."""
+
+    def __init__(self, num_components: int = 2) -> None:
+        if num_components <= 0:
+            raise ConfigurationError(
+                f"num_components must be positive, got {num_components}"
+            )
+        self.num_components = num_components
+        self._mean: np.ndarray | None = None
+        self._components: np.ndarray | None = None
+        self._explained_variance: np.ndarray | None = None
+        self._explained_variance_ratio: np.ndarray | None = None
+
+    # ---------------------------------------------------------------- fitting
+    def fit(self, data: np.ndarray) -> "PCA":
+        """Fit principal axes on ``data`` of shape ``(n_samples, n_features)``."""
+        matrix = np.asarray(data, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ConfigurationError(f"data must be 2-D, got shape {matrix.shape}")
+        n_samples, n_features = matrix.shape
+        if n_samples < 2:
+            raise ConfigurationError("PCA requires at least two samples")
+        limit = min(n_samples, n_features)
+        if self.num_components > limit:
+            raise ConfigurationError(
+                f"num_components={self.num_components} exceeds min(n_samples, "
+                f"n_features)={limit}"
+            )
+        self._mean = matrix.mean(axis=0)
+        centered = matrix - self._mean
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self._components = vt[: self.num_components]
+        variance = (singular_values**2) / (n_samples - 1)
+        self._explained_variance = variance[: self.num_components]
+        total = variance.sum()
+        self._explained_variance_ratio = (
+            self._explained_variance / total if total > 0 else np.zeros_like(self._explained_variance)
+        )
+        return self
+
+    # ------------------------------------------------------------- projection
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project ``data`` onto the fitted principal axes."""
+        if self._components is None or self._mean is None:
+            raise ConfigurationError("PCA.transform called before fit()")
+        matrix = np.asarray(data, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        return (matrix - self._mean) @ self._components.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its projection."""
+        return self.fit(data).transform(data)
+
+    # ------------------------------------------------------------- attributes
+    @property
+    def components(self) -> np.ndarray:
+        """Principal axes, shape ``(num_components, n_features)``."""
+        if self._components is None:
+            raise ConfigurationError("PCA.components accessed before fit()")
+        return self._components
+
+    @property
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance captured by each component."""
+        if self._explained_variance_ratio is None:
+            raise ConfigurationError(
+                "PCA.explained_variance_ratio accessed before fit()"
+            )
+        return self._explained_variance_ratio

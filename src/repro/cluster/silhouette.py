@@ -1,0 +1,104 @@
+"""Silhouette coefficient and cluster-count selection.
+
+The paper selects the number of column clusters by maximising Silhouette's
+coefficient over candidate cuts of the dendrogram (Sec. 3.3, following
+Khatiwada et al. [26] and Rousseeuw [44]).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.cluster.distance import pairwise_distance_matrix
+from repro.utils.errors import ConfigurationError
+
+
+def silhouette_score(
+    embeddings: np.ndarray,
+    labels: Sequence[int] | np.ndarray,
+    *,
+    metric: str = "euclidean",
+) -> float:
+    """Mean silhouette coefficient of a clustering.
+
+    Singleton clusters contribute a silhouette of 0 (the standard convention).
+    A clustering with a single cluster or with every item in its own cluster
+    is scored 0, since the coefficient is undefined there.
+    """
+    matrix = np.asarray(embeddings, dtype=np.float64)
+    label_array = np.asarray(labels, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise ConfigurationError(f"embeddings must be 2-D, got shape {matrix.shape}")
+    if label_array.shape[0] != matrix.shape[0]:
+        raise ConfigurationError(
+            f"{label_array.shape[0]} labels for {matrix.shape[0]} embeddings"
+        )
+    n = matrix.shape[0]
+    unique = np.unique(label_array)
+    if len(unique) < 2 or len(unique) >= n:
+        return 0.0
+
+    distances = pairwise_distance_matrix(matrix, metric=metric)
+    scores = np.zeros(n, dtype=np.float64)
+    members_by_label = {int(label): np.flatnonzero(label_array == label) for label in unique}
+
+    for index in range(n):
+        own_label = int(label_array[index])
+        own_members = members_by_label[own_label]
+        if len(own_members) <= 1:
+            scores[index] = 0.0
+            continue
+        within = distances[index, own_members]
+        a_value = (within.sum()) / (len(own_members) - 1)
+        b_value = np.inf
+        for label, members in members_by_label.items():
+            if label == own_label:
+                continue
+            b_value = min(b_value, float(distances[index, members].mean()))
+        denominator = max(a_value, b_value)
+        scores[index] = 0.0 if denominator == 0 else (b_value - a_value) / denominator
+
+    return float(scores.mean())
+
+
+def best_num_clusters(
+    embeddings: np.ndarray,
+    labels_for: Callable[[int], Sequence[int] | np.ndarray],
+    candidates: Iterable[int],
+    *,
+    metric: str = "euclidean",
+) -> tuple[int, float]:
+    """Choose the cluster count maximising the silhouette coefficient.
+
+    Parameters
+    ----------
+    embeddings:
+        ``(n, dim)`` item embeddings.
+    labels_for:
+        Callback mapping a candidate cluster count to labels (typically
+        ``lambda k: clustering.labels_for(k).labels``).
+    candidates:
+        Candidate cluster counts to evaluate; counts outside ``[2, n]`` are
+        skipped.  Ties are broken in favour of the smaller count.
+
+    Returns
+    -------
+    ``(best_count, best_score)``.  If no candidate is valid, ``(1, 0.0)``.
+    """
+    matrix = np.asarray(embeddings, dtype=np.float64)
+    n = matrix.shape[0]
+    best_count, best_score = 1, -np.inf
+    evaluated = False
+    for candidate in sorted(set(int(c) for c in candidates)):
+        if candidate < 2 or candidate > n:
+            continue
+        labels = labels_for(candidate)
+        score = silhouette_score(matrix, labels, metric=metric)
+        evaluated = True
+        if score > best_score:
+            best_count, best_score = candidate, score
+    if not evaluated:
+        return 1, 0.0
+    return best_count, float(best_score)

@@ -1,0 +1,86 @@
+"""Configuration objects for the DUST diversifier and end-to-end pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.distance import DISTANCE_FUNCTIONS
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DustConfig:
+    """Parameters of DUST's tuple diversification (Algorithm 2).
+
+    Attributes
+    ----------
+    candidate_multiplier:
+        The ``p`` parameter: the clustering step produces ``k * p`` candidate
+        clusters so the re-ranking step has more than ``k`` diverse candidates
+        to choose from.  The paper selects ``p = 2`` (Appendix A.2.2).
+    prune_limit:
+        The ``s`` parameter: maximum number of data lake tuples kept by the
+        pre-clustering pruning step (2 500 in the paper's effectiveness
+        experiments, Sec. 6.4.3).  ``None`` disables pruning.
+    metric:
+        Distance metric used for pruning, medoid selection and re-ranking
+        (cosine in the paper).
+    linkage, cluster_metric:
+        Hierarchical-clustering configuration for the candidate clustering.
+    """
+
+    candidate_multiplier: int = 2
+    prune_limit: int | None = 2500
+    metric: str = "cosine"
+    linkage: str = "average"
+    cluster_metric: str = "euclidean"
+
+    def __post_init__(self) -> None:
+        if self.candidate_multiplier < 1:
+            raise ConfigurationError(
+                f"candidate_multiplier (p) must be >= 1, got {self.candidate_multiplier}"
+            )
+        if self.prune_limit is not None and self.prune_limit <= 0:
+            raise ConfigurationError(
+                f"prune_limit (s) must be positive or None, got {self.prune_limit}"
+            )
+        if self.metric not in DISTANCE_FUNCTIONS:
+            raise ConfigurationError(
+                f"metric must be one of {sorted(DISTANCE_FUNCTIONS)}, got {self.metric!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Parameters of the end-to-end DUST pipeline (Algorithm 1).
+
+    Attributes
+    ----------
+    num_search_tables:
+        How many unionable tables the union-search stage retrieves before
+        alignment (the paper unions the top search results).
+    k:
+        Number of diverse tuples to output.
+    dust:
+        Configuration of the diversification stage.
+    min_query_rows:
+        Query tables with fewer rows are rejected (3 in the paper's
+        preprocessing).
+    """
+
+    num_search_tables: int = 10
+    k: int = 30
+    dust: DustConfig = DustConfig()
+    min_query_rows: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_search_tables <= 0:
+            raise ConfigurationError(
+                f"num_search_tables must be positive, got {self.num_search_tables}"
+            )
+        if self.k <= 0:
+            raise ConfigurationError(f"k must be positive, got {self.k}")
+        if self.min_query_rows < 0:
+            raise ConfigurationError(
+                f"min_query_rows must be non-negative, got {self.min_query_rows}"
+            )

@@ -1,0 +1,97 @@
+"""Tuple diversification evaluation metrics (paper Sec. 5.4).
+
+Two adapted metrics evaluate a selected set of data lake tuples against the
+query tuples:
+
+* **Average Diversity** (Eq. 1): the mean of all query↔selected and
+  selected↔selected distances (query↔query distances are constant across
+  methods and therefore excluded).
+* **Min Diversity** (Eq. 2): the smallest distance among those same pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.distance import pairwise_distance_matrix
+from repro.utils.errors import DiversificationError
+
+
+def _validate(query_embeddings: np.ndarray, selected_embeddings: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    query = np.atleast_2d(np.asarray(query_embeddings, dtype=np.float64))
+    selected = np.atleast_2d(np.asarray(selected_embeddings, dtype=np.float64))
+    if selected.size == 0 or selected.shape[0] == 0:
+        raise DiversificationError("diversity metrics need at least one selected tuple")
+    if query.size == 0:
+        query = np.zeros((0, selected.shape[1]), dtype=np.float64)
+    if query.shape[0] > 0 and query.shape[1] != selected.shape[1]:
+        raise DiversificationError(
+            "query and selected embeddings have different dimensionality: "
+            f"{query.shape[1]} vs {selected.shape[1]}"
+        )
+    return query, selected
+
+
+def average_diversity(
+    query_embeddings: np.ndarray,
+    selected_embeddings: np.ndarray,
+    *,
+    metric: str = "cosine",
+) -> float:
+    """Average Diversity (Eq. 1) of a selected set against the query tuples.
+
+    The numerator sums every query↔selected distance and every unordered
+    selected↔selected distance; the denominator is ``n + k`` as in the paper.
+    """
+    query, selected = _validate(query_embeddings, selected_embeddings)
+    n, k = query.shape[0], selected.shape[0]
+    total = 0.0
+    if n > 0:
+        total += float(
+            pairwise_distance_matrix(query, selected, metric=metric).sum()
+        )
+    if k > 1:
+        within = pairwise_distance_matrix(selected, metric=metric)
+        total += float(np.triu(within, k=1).sum())
+    return total / (n + k)
+
+
+def min_diversity(
+    query_embeddings: np.ndarray,
+    selected_embeddings: np.ndarray,
+    *,
+    metric: str = "cosine",
+) -> float:
+    """Min Diversity (Eq. 2): the smallest query↔selected / selected↔selected distance."""
+    query, selected = _validate(query_embeddings, selected_embeddings)
+    candidates: list[float] = []
+    if query.shape[0] > 0:
+        candidates.append(
+            float(pairwise_distance_matrix(query, selected, metric=metric).min())
+        )
+    if selected.shape[0] > 1:
+        within = pairwise_distance_matrix(selected, metric=metric)
+        upper = within[np.triu_indices(selected.shape[0], k=1)]
+        candidates.append(float(upper.min()))
+    if not candidates:
+        # A single selected tuple and no query tuples: nothing to compare, the
+        # set is trivially diverse.
+        return 0.0
+    return min(candidates)
+
+
+def diversity_scores(
+    query_embeddings: np.ndarray,
+    selected_embeddings: np.ndarray,
+    *,
+    metric: str = "cosine",
+) -> dict[str, float]:
+    """Both metrics in one call (used by the evaluation harness)."""
+    return {
+        "average_diversity": average_diversity(
+            query_embeddings, selected_embeddings, metric=metric
+        ),
+        "min_diversity": min_diversity(
+            query_embeddings, selected_embeddings, metric=metric
+        ),
+    }

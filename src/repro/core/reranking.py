@@ -1,0 +1,74 @@
+"""Re-ranking candidate diverse tuples against the query (paper Sec. 5.3).
+
+Each candidate data lake tuple receives a *rank score*: its minimum distance
+to any query tuple.  Candidates are sorted by decreasing rank score so the
+top-ranked tuple is the one farthest from everything already in the query
+table; ties are broken by the highest *average* distance to the query tuples
+(Example 5 / Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.distance import pairwise_distance_matrix
+from repro.utils.errors import DiversificationError
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One candidate tuple with its re-ranking scores."""
+
+    candidate_index: int
+    rank_score: float
+    tie_breaking_score: float
+
+
+def rank_candidates_against_query(
+    candidate_embeddings: np.ndarray,
+    query_embeddings: np.ndarray,
+    *,
+    metric: str = "cosine",
+) -> list[RankedCandidate]:
+    """Rank candidates by min distance to the query (avg distance breaks ties).
+
+    When there are no query tuples, every candidate gets rank score 0 and the
+    original order is preserved — the caller then relies purely on the
+    clustering stage for diversity.
+    """
+    candidates = np.atleast_2d(np.asarray(candidate_embeddings, dtype=np.float64))
+    query = np.atleast_2d(np.asarray(query_embeddings, dtype=np.float64))
+    if candidates.shape[0] == 0:
+        raise DiversificationError("rank_candidates_against_query received no candidates")
+
+    if query.size == 0 or query.shape[0] == 0:
+        return [
+            RankedCandidate(candidate_index=index, rank_score=0.0, tie_breaking_score=0.0)
+            for index in range(candidates.shape[0])
+        ]
+
+    distances = pairwise_distance_matrix(candidates, query, metric=metric)
+    rank_scores = distances.min(axis=1)
+    tie_breaking = distances.mean(axis=1)
+
+    order = sorted(
+        range(candidates.shape[0]),
+        key=lambda index: (-rank_scores[index], -tie_breaking[index], index),
+    )
+    return [
+        RankedCandidate(
+            candidate_index=index,
+            rank_score=float(rank_scores[index]),
+            tie_breaking_score=float(tie_breaking[index]),
+        )
+        for index in order
+    ]
+
+
+def top_k_candidates(ranked: list[RankedCandidate], k: int) -> list[int]:
+    """Return the candidate indices of the ``k`` best-ranked candidates."""
+    if k <= 0:
+        raise DiversificationError(f"k must be positive, got {k}")
+    return [candidate.candidate_index for candidate in ranked[:k]]

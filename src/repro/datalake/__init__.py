@@ -1,0 +1,20 @@
+"""Data-lake substrate: in-memory tables, columns, a catalog and CSV I/O."""
+
+from repro.datalake.table import Column, Row, Table
+from repro.datalake.lake import DataLake
+from repro.datalake.io import read_csv, write_csv, table_from_rows
+from repro.datalake.profile import ColumnProfile, TableProfile, profile_column, profile_table
+
+__all__ = [
+    "Column",
+    "Row",
+    "Table",
+    "DataLake",
+    "read_csv",
+    "write_csv",
+    "table_from_rows",
+    "ColumnProfile",
+    "TableProfile",
+    "profile_column",
+    "profile_table",
+]

@@ -1,0 +1,119 @@
+"""The :class:`DataLake` catalog.
+
+A data lake is simply a named collection of :class:`~repro.datalake.table.Table`
+objects (paper Sec. 3: the set ``D`` of data lake tables).  The catalog keeps
+insertion order, enforces unique table names, supports the preprocessing rules
+used in the paper's experiments (drop all-null columns, drop query tables with
+fewer than three rows) and exposes simple statistics used by the Fig. 5
+benchmark-statistics experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.datalake.table import Table
+from repro.utils.errors import DataLakeError
+
+
+class DataLake:
+    """An ordered, name-indexed collection of tables."""
+
+    def __init__(self, tables: Iterable[Table] = (), *, name: str = "datalake") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            self.add(table)
+
+    # ------------------------------------------------------------- mutation
+    def add(self, table: Table) -> None:
+        """Add ``table``; raises :class:`DataLakeError` on duplicate names."""
+        if table.name in self._tables:
+            raise DataLakeError(
+                f"data lake {self.name!r} already contains a table named {table.name!r}"
+            )
+        self._tables[table.name] = table
+
+    def add_all(self, tables: Iterable[Table]) -> None:
+        """Add every table in ``tables``."""
+        for table in tables:
+            self.add(table)
+
+    def remove(self, name: str) -> Table:
+        """Remove and return the table called ``name``."""
+        try:
+            return self._tables.pop(name)
+        except KeyError as exc:
+            raise DataLakeError(
+                f"data lake {self.name!r} has no table named {name!r}"
+            ) from exc
+
+    # ------------------------------------------------------------- accessors
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def get(self, name: str) -> Table:
+        """Return the table called ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise DataLakeError(
+                f"data lake {self.name!r} has no table named {name!r}"
+            ) from exc
+
+    def table_names(self) -> list[str]:
+        """Return table names in insertion order."""
+        return list(self._tables)
+
+    def tables(self) -> list[Table]:
+        """Return tables in insertion order."""
+        return list(self._tables.values())
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def num_tables(self) -> int:
+        """Number of tables in the lake."""
+        return len(self._tables)
+
+    @property
+    def num_columns(self) -> int:
+        """Total number of columns across all tables."""
+        return sum(table.num_columns for table in self)
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of tuples across all tables."""
+        return sum(table.num_rows for table in self)
+
+    def filter(self, predicate: Callable[[Table], bool], *, name: str | None = None) -> "DataLake":
+        """Return a new lake with only the tables satisfying ``predicate``."""
+        return DataLake(
+            (table for table in self if predicate(table)),
+            name=name or self.name,
+        )
+
+    def preprocess(self, *, min_rows: int = 0) -> "DataLake":
+        """Apply the paper's preprocessing (Sec. 6.1, final paragraph).
+
+        Columns whose values are all null are dropped from every table, and
+        tables with fewer than ``min_rows`` rows are removed (the paper uses
+        ``min_rows=3`` for query tables).
+        """
+        cleaned = []
+        for table in self:
+            table = table.drop_all_null_columns()
+            if table.num_rows >= min_rows and table.num_columns > 0:
+                cleaned.append(table)
+        return DataLake(cleaned, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"DataLake(name={self.name!r}, tables={self.num_tables}, "
+            f"columns={self.num_columns}, rows={self.num_rows})"
+        )

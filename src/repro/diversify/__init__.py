@@ -1,0 +1,30 @@
+"""Diversification algorithms.
+
+All algorithms share the :class:`Diversifier` interface: given embeddings of
+the query tuples and of the candidate unionable data lake tuples, select ``k``
+candidate indices.  The package contains the IR baselines evaluated in the
+paper (GMC, GNE, CLT, plus SWAP, greedy Max-Min / Max-Sum and random
+selection); DUST's own algorithm lives in :mod:`repro.core.diversifier`.
+"""
+
+from repro.diversify.base import Diversifier, DiversificationRequest, mmr_objective
+from repro.diversify.gmc import GMCDiversifier
+from repro.diversify.gne import GNEDiversifier
+from repro.diversify.clt import CLTDiversifier
+from repro.diversify.swap import SwapDiversifier
+from repro.diversify.maxmin import MaxMinDiversifier
+from repro.diversify.maxsum import MaxSumDiversifier
+from repro.diversify.random_select import RandomDiversifier
+
+__all__ = [
+    "Diversifier",
+    "DiversificationRequest",
+    "mmr_objective",
+    "GMCDiversifier",
+    "GNEDiversifier",
+    "CLTDiversifier",
+    "SwapDiversifier",
+    "MaxMinDiversifier",
+    "MaxSumDiversifier",
+    "RandomDiversifier",
+]

@@ -1,0 +1,152 @@
+"""Common interface and shared objective for diversification algorithms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.distance import pairwise_distance_matrix
+from repro.utils.errors import DiversificationError
+
+
+@dataclass
+class DiversificationRequest:
+    """Inputs to a diversification run.
+
+    Attributes
+    ----------
+    query_embeddings:
+        ``(n, dim)`` embeddings of the query table tuples.  May be empty when
+        an algorithm diversifies a candidate set with no reference query (the
+        classic IR setting).
+    candidate_embeddings:
+        ``(s, dim)`` embeddings of the unionable data lake tuples.
+    k:
+        Number of candidates to select (``k <= s``).
+    metric:
+        Distance metric name (``"cosine"`` by default, matching the paper).
+    """
+
+    query_embeddings: np.ndarray
+    candidate_embeddings: np.ndarray
+    k: int
+    metric: str = "cosine"
+
+    def __post_init__(self) -> None:
+        self.query_embeddings = np.atleast_2d(np.asarray(self.query_embeddings, dtype=np.float64))
+        self.candidate_embeddings = np.atleast_2d(
+            np.asarray(self.candidate_embeddings, dtype=np.float64)
+        )
+        if self.query_embeddings.size == 0:
+            self.query_embeddings = np.zeros(
+                (0, self.candidate_embeddings.shape[1]), dtype=np.float64
+            )
+        if self.candidate_embeddings.shape[0] == 0:
+            raise DiversificationError("candidate_embeddings must not be empty")
+        if self.k <= 0:
+            raise DiversificationError(f"k must be positive, got {self.k}")
+        if self.k > self.candidate_embeddings.shape[0]:
+            raise DiversificationError(
+                f"k={self.k} exceeds the number of candidates "
+                f"({self.candidate_embeddings.shape[0]})"
+            )
+        if (
+            self.query_embeddings.shape[0] > 0
+            and self.query_embeddings.shape[1] != self.candidate_embeddings.shape[1]
+        ):
+            raise DiversificationError(
+                "query and candidate embeddings have different dimensionality: "
+                f"{self.query_embeddings.shape[1]} vs {self.candidate_embeddings.shape[1]}"
+            )
+
+    # -------------------------------------------------------- cached matrices
+    def candidate_distances(self) -> np.ndarray:
+        """Pairwise distances between candidates, computed lazily and cached."""
+        cached = getattr(self, "_candidate_distances", None)
+        if cached is None:
+            cached = pairwise_distance_matrix(self.candidate_embeddings, metric=self.metric)
+            self._candidate_distances = cached
+        return cached
+
+    def query_candidate_distances(self) -> np.ndarray:
+        """``(s, n)`` distances from each candidate to each query tuple."""
+        cached = getattr(self, "_query_candidate_distances", None)
+        if cached is None:
+            if self.query_embeddings.shape[0] == 0:
+                cached = np.zeros((self.candidate_embeddings.shape[0], 0))
+            else:
+                cached = pairwise_distance_matrix(
+                    self.candidate_embeddings, self.query_embeddings, metric=self.metric
+                )
+            self._query_candidate_distances = cached
+        return cached
+
+    def relevance(self) -> np.ndarray:
+        """Relevance of each candidate to the query (IR trade-off convention).
+
+        Diversification literature treats relevance and diversity as opposing
+        forces; for unionable tuples, a candidate is more *relevant* the closer
+        it sits to the query tuples, so relevance is ``1 - mean distance`` to
+        the query (all-ones when there is no query).
+        """
+        distances = self.query_candidate_distances()
+        if distances.shape[1] == 0:
+            return np.ones(self.candidate_embeddings.shape[0])
+        return 1.0 - distances.mean(axis=1)
+
+
+def mmr_objective(
+    request: DiversificationRequest,
+    selected: list[int],
+    *,
+    trade_off: float = 0.3,
+) -> float:
+    """Max-Sum diversification objective of Vieira et al. [51].
+
+    ``F(S) = (k - 1) * trade_off * sum_rel(S) + 2 * (1 - trade_off) * sum_div(S)``
+
+    where ``sum_rel`` is the summed relevance of the selected items and
+    ``sum_div`` the summed pairwise distance among them.  GMC and GNE both
+    greedily maximise this function.
+    """
+    if not selected:
+        return 0.0
+    relevance = request.relevance()
+    distances = request.candidate_distances()
+    indices = np.asarray(selected, dtype=int)
+    sum_relevance = float(relevance[indices].sum())
+    sub = distances[np.ix_(indices, indices)]
+    sum_diversity = float(np.triu(sub, k=1).sum())
+    k = request.k
+    return (k - 1) * trade_off * sum_relevance + 2.0 * (1.0 - trade_off) * sum_diversity
+
+
+class Diversifier(abc.ABC):
+    """Base class: select ``k`` diverse candidates for a request."""
+
+    #: Human-readable algorithm name used in experiment reports.
+    name: str = "diversifier"
+
+    @abc.abstractmethod
+    def select(self, request: DiversificationRequest) -> list[int]:
+        """Return the indices (into the candidate matrix) of the selected tuples."""
+
+    def select_embeddings(self, request: DiversificationRequest) -> np.ndarray:
+        """Convenience: return the embeddings of the selected candidates."""
+        indices = self.select(request)
+        return request.candidate_embeddings[np.asarray(indices, dtype=int)]
+
+    def _validate_selection(self, request: DiversificationRequest, selected: list[int]) -> list[int]:
+        """Common post-conditions: right size, unique, in range."""
+        if len(selected) != request.k:
+            raise DiversificationError(
+                f"{self.name} selected {len(selected)} items, expected {request.k}"
+            )
+        if len(set(selected)) != len(selected):
+            raise DiversificationError(f"{self.name} selected duplicate candidates")
+        upper = request.candidate_embeddings.shape[0]
+        if any(index < 0 or index >= upper for index in selected):
+            raise DiversificationError(f"{self.name} selected an out-of-range candidate")
+        return selected

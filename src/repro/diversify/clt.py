@@ -1,0 +1,49 @@
+"""CLT — clustering-based diversification (van Leuken et al. [49]).
+
+CLT clusters the candidate set into ``k`` clusters and returns one
+representative per cluster.  To keep the comparison with DUST consistent
+(Sec. 6.4.2), the representative is each cluster's medoid and the clustering
+algorithm/parameters are the same hierarchical clustering DUST uses.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.medoids import cluster_medoids
+from repro.diversify.base import DiversificationRequest, Diversifier
+
+
+class CLTDiversifier(Diversifier):
+    """Cluster candidates into ``k`` groups and return each group's medoid."""
+
+    name = "clt"
+
+    def __init__(self, *, linkage: str = "average", cluster_metric: str = "euclidean") -> None:
+        self.linkage = linkage
+        self.cluster_metric = cluster_metric
+
+    def select(self, request: DiversificationRequest) -> list[int]:
+        clustering = AgglomerativeClustering(
+            linkage=self.linkage, metric=self.cluster_metric
+        )
+        result = clustering.cluster(request.candidate_embeddings, request.k)
+        medoids = cluster_medoids(
+            request.candidate_embeddings, result.labels, metric=request.metric
+        )
+        # Constraint-free clustering may produce fewer clusters than k only when
+        # k exceeds the candidate count, which the request already forbids; pad
+        # defensively with the remaining farthest candidates if it ever happens.
+        if len(medoids) < request.k:
+            chosen = set(medoids)
+            distances = request.candidate_distances()
+            while len(medoids) < request.k:
+                remaining = [i for i in range(distances.shape[0]) if i not in chosen]
+                best = max(
+                    remaining,
+                    key=lambda index: float(distances[index, list(chosen)].min())
+                    if chosen
+                    else 0.0,
+                )
+                medoids.append(best)
+                chosen.add(best)
+        return self._validate_selection(request, medoids[: request.k])

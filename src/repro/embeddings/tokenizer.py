@@ -1,0 +1,113 @@
+"""A deterministic word-level tokenizer with BERT-style special tokens.
+
+The paper serialises tuples as ``[CLS] c1 v1 [SEP] c2 v2 ... [SEP]`` and feeds
+the token stream into a transformer with a 512-token limit.  This tokenizer
+reproduces the token accounting (special tokens, truncation, numeric marking)
+without a sub-word vocabulary: tokens are normalised words plus the special
+markers, which is all the downstream hashed encoders need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.utils.text import is_null, is_numeric, normalize_text
+
+#: Special tokens mirroring the BERT conventions used by the paper.
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+NULL_TOKEN = "[NULL]"
+NUM_TOKEN = "[NUM]"
+
+SPECIAL_TOKENS = (CLS_TOKEN, SEP_TOKEN, NULL_TOKEN, NUM_TOKEN)
+
+#: Maximum sequence length of the BERT-family models used in the paper.
+MAX_SEQUENCE_LENGTH = 512
+
+
+@dataclass(frozen=True)
+class TokenizedCell:
+    """Tokens of a single cell value, with a numeric flag."""
+
+    tokens: tuple[str, ...]
+    numeric: bool
+
+
+class Tokenizer:
+    """Whitespace/word tokenizer with normalisation and numeric handling.
+
+    Parameters
+    ----------
+    mark_numbers:
+        When true, numeric tokens are replaced by :data:`NUM_TOKEN` followed by
+        a coarse magnitude bucket token (``[NUM] mag3`` for values in the
+        thousands).  This mirrors how language models see numbers as mostly
+        uninformative surface forms while retaining scale information.
+    max_length:
+        Hard cap on the number of tokens returned by :meth:`tokenize_sequence`.
+    """
+
+    def __init__(self, *, mark_numbers: bool = True, max_length: int = MAX_SEQUENCE_LENGTH) -> None:
+        if max_length <= 0:
+            raise ValueError(f"max_length must be positive, got {max_length}")
+        self.mark_numbers = mark_numbers
+        self.max_length = max_length
+
+    # ----------------------------------------------------------------- cells
+    def tokenize_value(self, value: Any) -> TokenizedCell:
+        """Tokenize a single cell value."""
+        if is_null(value):
+            return TokenizedCell(tokens=(NULL_TOKEN,), numeric=False)
+        if self.mark_numbers and is_numeric(value):
+            bucket = self._magnitude_bucket(value)
+            return TokenizedCell(tokens=(NUM_TOKEN, bucket), numeric=True)
+        words = normalize_text(value).split()
+        if not words:
+            return TokenizedCell(tokens=(NULL_TOKEN,), numeric=False)
+        return TokenizedCell(tokens=tuple(words), numeric=False)
+
+    def tokenize_text(self, text: str) -> list[str]:
+        """Tokenize free text (used for serialized tuples).
+
+        Bracketed special tokens are preserved as-is; everything else is
+        normalised word by word.
+        """
+        tokens: list[str] = []
+        for raw in str(text).split():
+            if raw in SPECIAL_TOKENS:
+                tokens.append(raw)
+                continue
+            if self.mark_numbers and is_numeric(raw):
+                tokens.append(NUM_TOKEN)
+                tokens.append(self._magnitude_bucket(raw))
+                continue
+            normalized = normalize_text(raw)
+            if normalized:
+                tokens.extend(normalized.split())
+        return tokens[: self.max_length]
+
+    def tokenize_sequence(self, values: Sequence[Any]) -> list[str]:
+        """Tokenize a sequence of cell values into one flat token list."""
+        tokens: list[str] = []
+        for value in values:
+            tokens.extend(self.tokenize_value(value).tokens)
+            if len(tokens) >= self.max_length:
+                break
+        return tokens[: self.max_length]
+
+    # --------------------------------------------------------------- helpers
+    @staticmethod
+    def _magnitude_bucket(value: Any) -> str:
+        """Return a coarse order-of-magnitude token for a numeric value."""
+        try:
+            number = abs(float(str(value).replace(",", "")))
+        except ValueError:
+            return "mag0"
+        if number == 0:
+            return "mag0"
+        magnitude = 0
+        while number >= 10 and magnitude < 12:
+            number /= 10.0
+            magnitude += 1
+        return f"mag{magnitude}"

@@ -1,0 +1,76 @@
+"""Static word-embedding models (FastText-like and GloVe-like).
+
+These are the offline stand-ins for the FastText [23] and GloVe [40] word
+vectors used as column-alignment baselines in Table 1.  Both expose the
+:class:`~repro.embeddings.base.TupleEncoder` interface so they can also embed
+serialized tuples when needed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.base import EncoderInfo, TupleEncoder, l2_normalize
+from repro.embeddings.hashing import HashedVectorSpace
+from repro.embeddings.tokenizer import Tokenizer
+
+
+class _StaticWordModel(TupleEncoder):
+    """Shared implementation: average of per-token static vectors."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        dimension: int,
+        use_subwords: bool,
+        tokenizer: Tokenizer | None = None,
+    ) -> None:
+        self._info = EncoderInfo(name=name, dimension=dimension, family="word")
+        self._space = HashedVectorSpace(
+            dimension, use_subwords=use_subwords, seed_namespace=name
+        )
+        self._tokenizer = tokenizer or Tokenizer()
+
+    @property
+    def info(self) -> EncoderInfo:
+        return self._info
+
+    @property
+    def vector_space(self) -> HashedVectorSpace:
+        """The underlying token vector space (exposed for column encoders)."""
+        return self._space
+
+    def encode_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        """Encode a pre-tokenized token list."""
+        return l2_normalize(self._space.encode_tokens(list(tokens)))
+
+    def encode_text(self, text: str) -> np.ndarray:
+        """Encode free text by averaging its token vectors."""
+        tokens = self._tokenizer.tokenize_text(text)
+        return self.encode_tokens(tokens)
+
+
+class FastTextLikeModel(_StaticWordModel):
+    """FastText-style model: token vectors composed from character n-grams.
+
+    Subword composition means morphologically related tokens (``park``,
+    ``parks``, ``parking``) receive nearby vectors, mirroring FastText's
+    robustness to out-of-vocabulary words.
+    """
+
+    def __init__(self, dimension: int = 300, *, tokenizer: Tokenizer | None = None) -> None:
+        super().__init__(
+            "fasttext-like", dimension=dimension, use_subwords=True, tokenizer=tokenizer
+        )
+
+
+class GloveLikeModel(_StaticWordModel):
+    """GloVe-style model: one independent vector per whole token."""
+
+    def __init__(self, dimension: int = 300, *, tokenizer: Tokenizer | None = None) -> None:
+        super().__init__(
+            "glove-like", dimension=dimension, use_subwords=False, tokenizer=tokenizer
+        )

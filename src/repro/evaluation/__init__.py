@@ -1,0 +1,32 @@
+"""Experiment harness: the evaluation logic behind every paper table/figure."""
+
+from repro.evaluation.column_alignment import (
+    alignment_ground_truth,
+    alignment_precision_recall_f1,
+    evaluate_alignment_on_benchmark,
+)
+from repro.evaluation.representation import evaluate_representation_models
+from repro.evaluation.diversity import (
+    DiversityOutcome,
+    evaluate_diversifiers_on_benchmark,
+    count_wins,
+)
+from repro.evaluation.case_study import unique_values_added, case_study_series
+from repro.evaluation.runner import (
+    prepare_query_workload,
+    QueryWorkload,
+)
+
+__all__ = [
+    "alignment_ground_truth",
+    "alignment_precision_recall_f1",
+    "evaluate_alignment_on_benchmark",
+    "evaluate_representation_models",
+    "DiversityOutcome",
+    "evaluate_diversifiers_on_benchmark",
+    "count_wins",
+    "unique_values_added",
+    "case_study_series",
+    "prepare_query_workload",
+    "QueryWorkload",
+]

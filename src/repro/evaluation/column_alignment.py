@@ -1,0 +1,130 @@
+"""Column alignment evaluation (paper Sec. 6.2.2, Table 1).
+
+Alignments are scored as sets of unordered column pairs: the ground truth
+contains every pair formed by a query column and a data lake column deriving
+from the same base column, every pair of data lake columns sharing the same
+matching query column, plus a self-pair for query columns with no match.  A
+method's clusters are converted to the same representation and precision,
+recall and F1 are computed over the pair sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.alignment.types import ColumnAlignment
+from repro.benchgen.types import Benchmark
+from repro.datalake.table import Table
+from repro.utils.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class AlignmentScores:
+    """Precision / recall / F1 of one alignment against the ground truth."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def _column_provenance(table: Table) -> Mapping[str, str]:
+    """Map each column of a generated table back to its base-table column."""
+    provenance = table.metadata.get("column_provenance")
+    if provenance is None:
+        # Base and query tables generated without renaming map to themselves.
+        return {column: column for column in table.columns}
+    return provenance
+
+
+def alignment_ground_truth(
+    query_table: Table, lake_tables: Sequence[Table]
+) -> set[frozenset[str]]:
+    """Build the ground-truth pair set for a query and its unionable tables.
+
+    Requires the tables to carry generation provenance metadata (all benchmark
+    generators produce it); user-supplied tables without provenance raise
+    :class:`BenchmarkError` because no ground truth can be derived for them.
+    """
+    query_provenance = _column_provenance(query_table)
+    clusters: dict[str, list[str]] = {}
+    for column in query_table.columns:
+        base_column = query_provenance.get(column)
+        if base_column is None:
+            raise BenchmarkError(
+                f"query column {column!r} has no provenance metadata"
+            )
+        clusters[base_column] = [f"{query_table.name}.{column}"]
+
+    for table in lake_tables:
+        provenance = _column_provenance(table)
+        for column in table.columns:
+            base_column = provenance.get(column)
+            if base_column in clusters:
+                clusters[base_column].append(f"{table.name}.{column}")
+
+    return ColumnAlignment.pairs_from_clusters(clusters.values())
+
+
+def alignment_precision_recall_f1(
+    predicted_pairs: set[frozenset[str]],
+    ground_truth_pairs: set[frozenset[str]],
+) -> AlignmentScores:
+    """Precision / recall / F1 between predicted and ground-truth pair sets."""
+    if not predicted_pairs and not ground_truth_pairs:
+        return AlignmentScores(precision=1.0, recall=1.0, f1=1.0)
+    intersection = len(predicted_pairs & ground_truth_pairs)
+    precision = intersection / len(predicted_pairs) if predicted_pairs else 0.0
+    recall = intersection / len(ground_truth_pairs) if ground_truth_pairs else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return AlignmentScores(precision=precision, recall=recall, f1=f1)
+
+
+def evaluate_alignment_on_benchmark(
+    benchmark: Benchmark,
+    align: Callable[[Table, Sequence[Table]], ColumnAlignment],
+    *,
+    max_queries: int | None = None,
+    max_tables_per_query: int | None = None,
+) -> AlignmentScores:
+    """Average alignment P/R/F1 of an aligner over a benchmark's queries.
+
+    ``align`` is any callable with the aligner signature (typically
+    ``HolisticColumnAligner(...).align`` or ``BipartiteColumnAligner(...).align``).
+    """
+    queries = benchmark.query_tables
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    if not queries:
+        raise BenchmarkError(f"benchmark {benchmark.name!r} has no query tables")
+
+    precisions, recalls, f1s = [], [], []
+    for query in queries:
+        lake_tables = benchmark.unionable_tables(query.name)
+        if max_tables_per_query is not None:
+            lake_tables = lake_tables[:max_tables_per_query]
+        if not lake_tables:
+            continue
+        alignment = align(query, lake_tables)
+        scores = alignment_precision_recall_f1(
+            alignment.aligned_pairs(),
+            alignment_ground_truth(query, lake_tables),
+        )
+        precisions.append(scores.precision)
+        recalls.append(scores.recall)
+        f1s.append(scores.f1)
+
+    if not f1s:
+        raise BenchmarkError(
+            f"no queries of benchmark {benchmark.name!r} had unionable tables"
+        )
+    count = len(f1s)
+    return AlignmentScores(
+        precision=sum(precisions) / count,
+        recall=sum(recalls) / count,
+        f1=sum(f1s) / count,
+    )

@@ -1,0 +1,66 @@
+"""Tuple representation experiment (paper Sec. 6.3, Fig. 6).
+
+Evaluates a set of tuple encoders — pre-trained baselines, Ditto and the DUST
+variants — on the test split of the fine-tuning benchmark, reporting the
+accuracy of threshold-based unionability prediction for each model.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.embeddings.base import TupleEncoder
+from repro.embeddings.contextual import (
+    BertLikeModel,
+    RobertaLikeModel,
+    SentenceBertLikeModel,
+)
+from repro.models.dataset import TuplePairDataset
+from repro.models.evaluate import evaluate_encoder_on_pairs
+
+
+def default_pretrained_baselines() -> dict[str, TupleEncoder]:
+    """The un-finetuned encoder baselines of Fig. 6 (BERT, RoBERTa, sBERT)."""
+    return {
+        "bert": BertLikeModel(),
+        "roberta": RobertaLikeModel(),
+        "sbert": SentenceBertLikeModel(),
+    }
+
+
+def evaluate_representation_models(
+    dataset: TuplePairDataset,
+    models: Mapping[str, TupleEncoder],
+    *,
+    tune_threshold: bool = True,
+) -> dict[str, dict[str, float]]:
+    """Evaluate every named encoder on the dataset's validation/test splits.
+
+    Returns ``{model name: {"threshold", "validation_accuracy", "test_accuracy"}}``
+    — one Fig. 6 cell per model.
+    """
+    results: dict[str, dict[str, float]] = {}
+    for name, encoder in models.items():
+        results[name] = evaluate_encoder_on_pairs(
+            encoder,
+            dataset.validation,
+            dataset.test,
+            tune_threshold=tune_threshold,
+        )
+    return results
+
+
+def format_representation_results(results: Mapping[str, Mapping[str, float]]) -> str:
+    """Format Fig. 6 results as an aligned text table (best score highlighted)."""
+    if not results:
+        return "(no models evaluated)"
+    best = max(results, key=lambda name: results[name]["test_accuracy"])
+    header = f"{'Model':<18} {'Threshold':>10} {'Val Acc':>9} {'Test Acc':>9}"
+    lines = [header, "-" * len(header)]
+    for name, scores in results.items():
+        marker = "  <= best" if name == best else ""
+        lines.append(
+            f"{name:<18} {scores['threshold']:>10.2f} "
+            f"{scores['validation_accuracy']:>9.3f} {scores['test_accuracy']:>9.3f}{marker}"
+        )
+    return "\n".join(lines)

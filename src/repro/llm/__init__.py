@@ -1,0 +1,11 @@
+"""Simulated LLM baseline for diverse tuple generation (paper Sec. 6.5.1)."""
+
+from repro.llm.prompt import build_diversification_prompt, estimate_prompt_tokens
+from repro.llm.generator import SimulatedLLM, LLMTokenLimitError
+
+__all__ = [
+    "build_diversification_prompt",
+    "estimate_prompt_tokens",
+    "SimulatedLLM",
+    "LLMTokenLimitError",
+]

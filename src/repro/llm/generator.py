@@ -1,0 +1,133 @@
+"""A deterministic stand-in for the GPT-3 diversification baseline.
+
+The paper uses GPT-3 to *generate* k diverse tuples unionable with the query
+table (Sec. 6.5.1) and reports three behaviours that matter for the
+comparison:
+
+1. for small inputs the LLM produces a few genuinely novel, diverse tuples;
+2. it then starts producing redundant tuples (near-duplicates of the query or
+   of its own earlier generations);
+3. it cannot scale to query tables whose prompt exceeds the model's input
+   token limit, which excludes it from the SANTOS experiments.
+
+:class:`SimulatedLLM` reproduces exactly those behaviours without network
+access: it recombines values observed in the query table (novel combinations
+first, then echoes of existing tuples) and refuses prompts above the token
+limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datalake.table import Table
+from repro.embeddings.serialization import AlignedTuple
+from repro.llm.prompt import build_diversification_prompt, estimate_prompt_tokens
+from repro.utils.errors import ReproError
+from repro.utils.rng import derive_seed, seeded_rng
+from repro.utils.text import is_null
+
+
+class LLMTokenLimitError(ReproError):
+    """Raised when the prompt exceeds the simulated model's context window."""
+
+
+class SimulatedLLM:
+    """Generates "LLM-style" unionable tuples for a query table.
+
+    Parameters
+    ----------
+    token_limit:
+        Maximum number of prompt tokens accepted (GPT-3's 4 096 by default).
+    novel_fraction:
+        Fraction of the requested tuples that are genuinely novel
+        recombinations; the remainder are redundant echoes of query tuples,
+        reproducing the repetition the paper observes after the first few
+        generations.
+    """
+
+    def __init__(
+        self,
+        *,
+        token_limit: int = 4096,
+        novel_fraction: float = 0.4,
+        seed: int = 11,
+    ) -> None:
+        if token_limit <= 0:
+            raise ReproError(f"token_limit must be positive, got {token_limit}")
+        if not 0.0 <= novel_fraction <= 1.0:
+            raise ReproError(f"novel_fraction must be in [0, 1], got {novel_fraction}")
+        self.token_limit = token_limit
+        self.novel_fraction = novel_fraction
+        self.seed = seed
+
+    # ------------------------------------------------------------------ public
+    def generate_tuples(self, query_table: Table, k: int) -> list[AlignedTuple]:
+        """Generate ``k`` tuples "unionable" with ``query_table``.
+
+        Raises :class:`LLMTokenLimitError` when the rendered prompt does not
+        fit in the context window — the condition under which the paper
+        excludes the LLM baseline from larger benchmarks.
+        """
+        if k <= 0:
+            raise ReproError(f"k must be positive, got {k}")
+        prompt = build_diversification_prompt(query_table, k)
+        tokens = estimate_prompt_tokens(prompt)
+        if tokens > self.token_limit:
+            raise LLMTokenLimitError(
+                f"prompt needs ~{tokens} tokens which exceeds the limit of "
+                f"{self.token_limit}; the LLM baseline cannot process this query"
+            )
+
+        rng = seeded_rng(derive_seed(self.seed, "llm", query_table.name, k))
+        value_pools = {
+            column: [
+                value
+                for value in query_table.column_values(column)
+                if not is_null(value)
+            ]
+            for column in query_table.columns
+        }
+        num_novel = int(round(self.novel_fraction * k))
+        generated: list[AlignedTuple] = []
+        for index in range(k):
+            if index < num_novel:
+                values = self._novel_tuple(query_table, value_pools, rng, index)
+            else:
+                values = self._redundant_tuple(query_table, rng)
+            generated.append(
+                AlignedTuple(source_table="llm-generated", source_row=index, values=values)
+            )
+        return generated
+
+    # ----------------------------------------------------------------- helpers
+    def _novel_tuple(
+        self,
+        query_table: Table,
+        value_pools: dict[str, list[object]],
+        rng: np.random.Generator,
+        index: int,
+    ) -> dict[str, object]:
+        """Recombine column values across rows and mutate the entity-like column."""
+        values: dict[str, object] = {}
+        for column in query_table.columns:
+            pool = value_pools.get(column, [])
+            if not pool:
+                values[column] = None
+                continue
+            values[column] = pool[int(rng.integers(len(pool)))]
+        # Perturb the first textual column so the tuple is not an exact copy of
+        # any query row: LLMs tend to invent plausible new entity names.
+        for column in query_table.columns:
+            value = values.get(column)
+            if isinstance(value, str) and value:
+                values[column] = f"New {value} {index + 1}"
+                break
+        return values
+
+    def _redundant_tuple(
+        self, query_table: Table, rng: np.random.Generator
+    ) -> dict[str, object]:
+        """Echo one of the query rows nearly verbatim (the redundancy failure mode)."""
+        row = query_table.rows[int(rng.integers(query_table.num_rows))]
+        return dict(zip(query_table.columns, row))

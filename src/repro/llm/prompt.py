@@ -1,0 +1,39 @@
+"""Prompt construction for the LLM diversification baseline.
+
+Appendix A.2.4 of the paper gives the exact prompt used with GPT-3; the same
+prompt is built here (with the query table rendered in pipe-separated format)
+so the simulated LLM baseline consumes identical inputs and hits the same
+token-limit constraint the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.datalake.table import Table
+
+#: Template from Appendix A.2.4 of the paper.
+PROMPT_TEMPLATE = (
+    "Given the following query table: {table}\n"
+    "Generate {k} new tuples that are unionable to the query table. "
+    "The generated tuples should be non-redundant and diverse with respect to "
+    "the existing tuples. Return the tuples in pipe-separated format as the "
+    "query table."
+)
+
+
+def render_table_pipe_separated(table: Table) -> str:
+    """Render a table in the pipe-separated format used in the prompt."""
+    lines = [" | ".join(str(column) for column in table.columns)]
+    for row in table.rows:
+        lines.append(" | ".join("" if value is None else str(value) for value in row))
+    return "\n".join(lines)
+
+
+def build_diversification_prompt(query_table: Table, k: int) -> str:
+    """Instantiate the Appendix A.2.4 prompt for ``query_table`` and ``k``."""
+    return PROMPT_TEMPLATE.format(table=render_table_pipe_separated(query_table), k=k)
+
+
+def estimate_prompt_tokens(prompt: str) -> int:
+    """Rough GPT-style token estimate (≈ 0.75 tokens per word + punctuation)."""
+    words = prompt.replace("|", " | ").split()
+    return int(len(words) * 1.3) + 1

@@ -1,0 +1,42 @@
+"""Tuple representation models (paper Sec. 4 and Sec. 6.3).
+
+The DUST tuple embedding model is a fine-tuned head (dropout + two linear
+layers) on top of a frozen base encoder, trained with a cosine embedding loss
+on pairs of unionable / non-unionable tuples.  This package contains the
+pair-dataset builder, the numpy training stack (layers, Adam, trainer), the
+DUST model itself and the Ditto entity-matching baseline.
+"""
+
+from repro.models.dataset import TuplePair, TuplePairDataset, build_pair_dataset
+from repro.models.layers import Dropout, EmbeddingHead, Linear, Tanh
+from repro.models.optim import AdamOptimizer
+from repro.models.trainer import FineTuneConfig, FineTuneResult, FineTuningTrainer
+from repro.models.dust import DustTupleModel, build_dust_model
+from repro.models.ditto import DittoModel, build_ditto_model, build_entity_matching_pairs
+from repro.models.evaluate import (
+    pair_accuracy,
+    select_threshold,
+    evaluate_encoder_on_pairs,
+)
+
+__all__ = [
+    "TuplePair",
+    "TuplePairDataset",
+    "build_pair_dataset",
+    "Dropout",
+    "EmbeddingHead",
+    "Linear",
+    "Tanh",
+    "AdamOptimizer",
+    "FineTuneConfig",
+    "FineTuneResult",
+    "FineTuningTrainer",
+    "DustTupleModel",
+    "build_dust_model",
+    "DittoModel",
+    "build_ditto_model",
+    "build_entity_matching_pairs",
+    "pair_accuracy",
+    "select_threshold",
+    "evaluate_encoder_on_pairs",
+]

@@ -1,0 +1,229 @@
+"""Fine-tuning pair datasets (paper Sec. 4, "Dataset Preparation" and Sec. 6.1.1).
+
+Each data point is a pair of serialized tuples plus a binary unionability
+label: 1 when the tuples come from the same table or from two unionable
+tables, 0 when they come from two non-unionable tables.  The dataset is
+balanced, split 70:15:15 into train/validation/test, and leakage-free (no
+tuple appears in more than one split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.datalake.table import Table
+from repro.embeddings.serialization import serialize_tuple
+from repro.utils.errors import TrainingError
+from repro.utils.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class TuplePair:
+    """One labelled pair of serialized tuples."""
+
+    first: str
+    second: str
+    label: int
+    first_source: str = ""
+    second_source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.label not in (0, 1):
+            raise TrainingError(f"pair label must be 0 or 1, got {self.label}")
+
+
+@dataclass
+class TuplePairDataset:
+    """Train/validation/test splits of labelled tuple pairs."""
+
+    train: list[TuplePair] = field(default_factory=list)
+    validation: list[TuplePair] = field(default_factory=list)
+    test: list[TuplePair] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total number of pairs across all splits."""
+        return len(self.train) + len(self.validation) + len(self.test)
+
+    def balance_report(self) -> dict[str, tuple[int, int]]:
+        """Return ``(positives, negatives)`` per split."""
+        report = {}
+        for name, split in (
+            ("train", self.train),
+            ("validation", self.validation),
+            ("test", self.test),
+        ):
+            positives = sum(1 for pair in split if pair.label == 1)
+            report[name] = (positives, len(split) - positives)
+        return report
+
+
+def _serialize_rows(table: Table) -> list[str]:
+    """Serialize every row of ``table`` over its own columns."""
+    return [
+        serialize_tuple(dict(zip(table.columns, row)), table.columns)
+        for row in table.rows
+    ]
+
+
+def build_pair_dataset(
+    tables: Sequence[Table],
+    unionable_groups: Mapping[str, Sequence[str]] | Sequence[Sequence[str]],
+    *,
+    num_pairs: int = 2000,
+    train_fraction: float = 0.70,
+    validation_fraction: float = 0.15,
+    seed: int | None = None,
+    max_rows_per_table: int = 30,
+) -> TuplePairDataset:
+    """Build a balanced, leak-free tuple-pair dataset from labelled tables.
+
+    Parameters
+    ----------
+    tables:
+        The benchmark tables to draw tuples from.
+    unionable_groups:
+        Either a mapping ``group id -> table names`` or a sequence of table
+        name groups.  Tables within a group are mutually unionable; tables in
+        different groups are non-unionable (the TUS benchmark convention:
+        tables derived from the same base table are unionable).
+    num_pairs:
+        Total number of pairs to generate (half positive, half negative).
+    train_fraction, validation_fraction:
+        Split fractions; the remainder is the test split (defaults give the
+        paper's 70:15:15).
+    seed:
+        Seed controlling pair sampling and split assignment.
+    max_rows_per_table:
+        Cap on the rows sampled per table, keeping generation fast on big
+        benchmarks.
+
+    Leakage control: every *tuple* (a specific row of a specific table) is
+    assigned to exactly one split before pairing, and a pair is kept only when
+    both of its tuples live in the same split.
+    """
+    if not 0.0 < train_fraction < 1.0 or not 0.0 < validation_fraction < 1.0:
+        raise TrainingError("split fractions must lie strictly between 0 and 1")
+    if train_fraction + validation_fraction >= 1.0:
+        raise TrainingError("train and validation fractions must sum to below 1")
+    if num_pairs < 10:
+        raise TrainingError(f"num_pairs must be at least 10, got {num_pairs}")
+
+    if isinstance(unionable_groups, Mapping):
+        groups = [list(names) for names in unionable_groups.values()]
+    else:
+        groups = [list(names) for names in unionable_groups]
+    if len(groups) < 2:
+        raise TrainingError(
+            "need at least two non-unionable groups to form negative pairs"
+        )
+
+    tables_by_name = {table.name: table for table in tables}
+    for group in groups:
+        for name in group:
+            if name not in tables_by_name:
+                raise TrainingError(f"unionable group references unknown table {name!r}")
+
+    rng = seeded_rng(seed)
+
+    # Serialize a capped sample of rows per table and assign each tuple a split.
+    split_names = ("train", "validation", "test")
+    split_probabilities = (
+        train_fraction,
+        validation_fraction,
+        1.0 - train_fraction - validation_fraction,
+    )
+    serialized: dict[str, list[tuple[str, str]]] = {}  # table -> [(text, split)]
+    # Identical serialized tuples (e.g. the same base row sampled into two
+    # derived tables) must land in the same split, otherwise a pair in the test
+    # split could contain a tuple also seen during training.
+    split_of_text: dict[str, str] = {}
+    for group in groups:
+        for name in group:
+            table = tables_by_name[name]
+            rows = _serialize_rows(table)
+            if len(rows) > max_rows_per_table:
+                chosen = rng.choice(len(rows), size=max_rows_per_table, replace=False)
+                rows = [rows[i] for i in sorted(chosen)]
+            assignments = rng.choice(len(split_names), size=len(rows), p=split_probabilities)
+            table_rows = []
+            for text, assignment in zip(rows, assignments):
+                split = split_of_text.setdefault(text, split_names[assignment])
+                table_rows.append((text, split))
+            serialized[name] = table_rows
+
+    splits: dict[str, list[TuplePair]] = {name: [] for name in split_names}
+    positives_needed = num_pairs // 2
+    negatives_needed = num_pairs - positives_needed
+
+    def sample_tuple(table_name: str) -> tuple[str, str] | None:
+        rows = serialized.get(table_name, [])
+        if not rows:
+            return None
+        return rows[int(rng.integers(len(rows)))]
+
+    # Positive pairs: same table or same unionable group.
+    attempts = 0
+    produced_positive = 0
+    while produced_positive < positives_needed and attempts < positives_needed * 20:
+        attempts += 1
+        group = groups[int(rng.integers(len(groups)))]
+        first_table = group[int(rng.integers(len(group)))]
+        second_table = group[int(rng.integers(len(group)))]
+        first = sample_tuple(first_table)
+        second = sample_tuple(second_table)
+        if first is None or second is None:
+            continue
+        if first[1] != second[1] or first[0] == second[0]:
+            continue
+        splits[first[1]].append(
+            TuplePair(
+                first=first[0],
+                second=second[0],
+                label=1,
+                first_source=first_table,
+                second_source=second_table,
+            )
+        )
+        produced_positive += 1
+
+    # Negative pairs: tuples from two different (non-unionable) groups.
+    attempts = 0
+    produced_negative = 0
+    while produced_negative < negatives_needed and attempts < negatives_needed * 20:
+        attempts += 1
+        first_group_index = int(rng.integers(len(groups)))
+        second_group_index = int(rng.integers(len(groups)))
+        if first_group_index == second_group_index:
+            continue
+        first_group = groups[first_group_index]
+        second_group = groups[second_group_index]
+        first_table = first_group[int(rng.integers(len(first_group)))]
+        second_table = second_group[int(rng.integers(len(second_group)))]
+        first = sample_tuple(first_table)
+        second = sample_tuple(second_table)
+        if first is None or second is None:
+            continue
+        if first[1] != second[1]:
+            continue
+        splits[first[1]].append(
+            TuplePair(
+                first=first[0],
+                second=second[0],
+                label=0,
+                first_source=first_table,
+                second_source=second_table,
+            )
+        )
+        produced_negative += 1
+
+    dataset = TuplePairDataset(
+        train=splits["train"], validation=splits["validation"], test=splits["test"]
+    )
+    if not dataset.train or not dataset.validation or not dataset.test:
+        raise TrainingError(
+            "pair generation produced an empty split; increase num_pairs or "
+            "provide tables with more rows"
+        )
+    return dataset

@@ -1,0 +1,78 @@
+"""Adam optimizer for the numpy training stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import TrainingError
+
+
+class AdamOptimizer:
+    """Adam (Kingma & Ba) over a fixed list of parameter arrays.
+
+    Parameters are updated in place; gradients are read from the matching
+    gradient arrays supplied at construction time (the layer objects own both
+    arrays, so the optimizer needs no further wiring).
+    """
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        gradients: list[np.ndarray],
+        *,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if len(parameters) != len(gradients):
+            raise TrainingError(
+                f"got {len(parameters)} parameters but {len(gradients)} gradients"
+            )
+        for parameter, gradient in zip(parameters, gradients):
+            if parameter.shape != gradient.shape:
+                raise TrainingError(
+                    f"parameter/gradient shape mismatch: {parameter.shape} vs "
+                    f"{gradient.shape}"
+                )
+        if learning_rate <= 0:
+            raise TrainingError(f"learning_rate must be positive, got {learning_rate}")
+        self.parameters = parameters
+        self.gradients = gradients
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._first_moments = [np.zeros_like(p) for p in parameters]
+        self._second_moments = [np.zeros_like(p) for p in parameters]
+        self._step = 0
+
+    def step(self) -> None:
+        """Apply one Adam update using the current gradient values."""
+        self._step += 1
+        bias_correction1 = 1.0 - self.beta1**self._step
+        bias_correction2 = 1.0 - self.beta2**self._step
+        for parameter, gradient, first, second in zip(
+            self.parameters, self.gradients, self._first_moments, self._second_moments
+        ):
+            effective_grad = gradient
+            if self.weight_decay > 0.0:
+                effective_grad = gradient + self.weight_decay * parameter
+            first *= self.beta1
+            first += (1.0 - self.beta1) * effective_grad
+            second *= self.beta2
+            second += (1.0 - self.beta2) * (effective_grad**2)
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            parameter -= (
+                self.learning_rate
+                * corrected_first
+                / (np.sqrt(corrected_second) + self.epsilon)
+            )
+
+    @property
+    def steps_taken(self) -> int:
+        """Number of update steps applied so far."""
+        return self._step

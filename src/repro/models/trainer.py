@@ -1,0 +1,253 @@
+"""Fine-tuning trainer for the DUST tuple embedding head.
+
+Implements the training loop of paper Sec. 4: pairs of serialized tuples are
+encoded independently by the (frozen) base encoder, pushed through the
+trainable head, and the cosine embedding loss
+
+    L(e1, e2) = 1 - cos(e1, e2)            if label == 1
+    L(e1, e2) = max(0, cos(e1, e2) - m)    if label == 0   (margin m, default 0)
+
+is minimised with Adam.  Training stops after ``max_epochs`` or when the
+validation loss has not improved for ``patience`` epochs (early stopping with
+patience 10 in the paper, Sec. 6.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.base import TupleEncoder
+from repro.models.dataset import TuplePair
+from repro.models.layers import EmbeddingHead
+from repro.models.optim import AdamOptimizer
+from repro.utils.errors import TrainingError
+from repro.utils.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class FineTuneConfig:
+    """Hyper-parameters of the fine-tuning run."""
+
+    hidden_dim: int = 256
+    output_dim: int = 768
+    dropout_rate: float = 0.1
+    learning_rate: float = 1e-3
+    batch_size: int = 32
+    max_epochs: int = 100
+    patience: int = 10
+    margin: float = 0.0
+    weight_decay: float = 0.0
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.max_epochs <= 0:
+            raise TrainingError(f"max_epochs must be positive, got {self.max_epochs}")
+        if self.patience <= 0:
+            raise TrainingError(f"patience must be positive, got {self.patience}")
+        if self.batch_size <= 0:
+            raise TrainingError(f"batch_size must be positive, got {self.batch_size}")
+        if not 0.0 <= self.margin < 1.0:
+            raise TrainingError(f"margin must be in [0, 1), got {self.margin}")
+
+
+@dataclass
+class FineTuneResult:
+    """Outcome of a fine-tuning run."""
+
+    head: EmbeddingHead
+    train_losses: list[float] = field(default_factory=list)
+    validation_losses: list[float] = field(default_factory=list)
+    best_epoch: int = 0
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        """Number of epochs actually executed."""
+        return len(self.train_losses)
+
+
+def cosine_embedding_loss_and_grad(
+    first: np.ndarray,
+    second: np.ndarray,
+    labels: np.ndarray,
+    *,
+    margin: float = 0.0,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Batch cosine embedding loss and its gradients w.r.t. both embeddings.
+
+    Parameters
+    ----------
+    first, second:
+        Batches of embeddings, shape ``(batch, dim)``.
+    labels:
+        Binary labels (1 = unionable / similar, 0 = non-unionable / diverse).
+    margin:
+        Hinge margin for negative pairs (PyTorch's default of 0 reproduces the
+        formula in the paper).
+
+    Returns
+    -------
+    ``(mean_loss, grad_first, grad_second)``.
+    """
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if first.shape != second.shape:
+        raise TrainingError(
+            f"embedding batches must have equal shapes, got {first.shape} and "
+            f"{second.shape}"
+        )
+    batch = first.shape[0]
+    epsilon = 1e-12
+    norm_first = np.linalg.norm(first, axis=1, keepdims=True) + epsilon
+    norm_second = np.linalg.norm(second, axis=1, keepdims=True) + epsilon
+    dot = np.sum(first * second, axis=1, keepdims=True)
+    cosine = dot / (norm_first * norm_second)
+
+    positive_loss = 1.0 - cosine[:, 0]
+    negative_loss = np.maximum(0.0, cosine[:, 0] - margin)
+    losses = np.where(labels == 1.0, positive_loss, negative_loss)
+    mean_loss = float(losses.mean()) if batch > 0 else 0.0
+
+    # d cos / d first = second/(|first||second|) - cos * first/|first|^2
+    dcos_dfirst = second / (norm_first * norm_second) - cosine * first / (norm_first**2)
+    dcos_dsecond = first / (norm_first * norm_second) - cosine * second / (norm_second**2)
+
+    # d loss / d cos: -1 for positives, 1 for active negatives, 0 otherwise.
+    dloss_dcos = np.where(
+        labels == 1.0,
+        -1.0,
+        np.where(cosine[:, 0] > margin, 1.0, 0.0),
+    )[:, None]
+    scale = dloss_dcos / max(batch, 1)
+    return mean_loss, scale * dcos_dfirst, scale * dcos_dsecond
+
+
+class FineTuningTrainer:
+    """Trains an :class:`EmbeddingHead` on labelled tuple pairs."""
+
+    def __init__(self, base_encoder: TupleEncoder, config: FineTuneConfig | None = None) -> None:
+        self.base_encoder = base_encoder
+        self.config = config or FineTuneConfig()
+
+    # ----------------------------------------------------------- feature prep
+    def _encode_pairs(
+        self, pairs: Sequence[TuplePair]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode both sides of every pair with the frozen base encoder.
+
+        The base encoder is deterministic and frozen, so features are computed
+        once up front; only the head runs per epoch.
+        """
+        texts: dict[str, int] = {}
+        for pair in pairs:
+            texts.setdefault(pair.first, len(texts))
+            texts.setdefault(pair.second, len(texts))
+        ordered = sorted(texts, key=texts.__getitem__)
+        features = self.base_encoder.encode_many(ordered)
+        first = np.vstack([features[texts[pair.first]] for pair in pairs])
+        second = np.vstack([features[texts[pair.second]] for pair in pairs])
+        labels = np.array([pair.label for pair in pairs], dtype=np.float64)
+        return first, second, labels
+
+    # ----------------------------------------------------------------- train
+    def train(
+        self,
+        train_pairs: Sequence[TuplePair],
+        validation_pairs: Sequence[TuplePair],
+    ) -> FineTuneResult:
+        """Run fine-tuning and return the trained head plus loss curves."""
+        if not train_pairs:
+            raise TrainingError("cannot fine-tune with an empty training split")
+        if not validation_pairs:
+            raise TrainingError("cannot fine-tune with an empty validation split")
+        config = self.config
+        head = EmbeddingHead(
+            input_dim=self.base_encoder.dimension,
+            hidden_dim=config.hidden_dim,
+            output_dim=config.output_dim,
+            dropout_rate=config.dropout_rate,
+            seed=config.seed,
+        )
+        optimizer = AdamOptimizer(
+            head.parameters(),
+            head.gradients(),
+            learning_rate=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        rng = seeded_rng(config.seed)
+
+        train_first, train_second, train_labels = self._encode_pairs(train_pairs)
+        val_first, val_second, val_labels = self._encode_pairs(validation_pairs)
+
+        result = FineTuneResult(head=head)
+        best_validation = np.inf
+        best_parameters = [p.copy() for p in head.parameters()]
+        epochs_without_improvement = 0
+
+        num_samples = len(train_pairs)
+        for epoch in range(config.max_epochs):
+            order = rng.permutation(num_samples)
+            head.set_training(True)
+            epoch_losses = []
+            for start in range(0, num_samples, config.batch_size):
+                batch_indices = order[start : start + config.batch_size]
+                head.zero_gradients()
+                # Both sides of every pair are pushed through the head in one
+                # stacked batch so a single forward/backward pass covers them
+                # with consistent dropout masks and layer caches.
+                stacked = np.vstack(
+                    [train_first[batch_indices], train_second[batch_indices]]
+                )
+                outputs = head.forward(stacked)
+                half = len(batch_indices)
+                loss, grad_first, grad_second = cosine_embedding_loss_and_grad(
+                    outputs[:half],
+                    outputs[half:],
+                    train_labels[batch_indices],
+                    margin=config.margin,
+                )
+                head.backward(np.vstack([grad_first, grad_second]))
+                optimizer.step()
+                epoch_losses.append(loss)
+            result.train_losses.append(float(np.mean(epoch_losses)))
+
+            validation_loss = self.evaluate_loss(head, val_first, val_second, val_labels)
+            result.validation_losses.append(validation_loss)
+
+            if validation_loss < best_validation - 1e-6:
+                best_validation = validation_loss
+                best_parameters = [p.copy() for p in head.parameters()]
+                result.best_epoch = epoch
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if epochs_without_improvement >= config.patience:
+                    result.stopped_early = True
+                    break
+
+        # Restore the best parameters observed on validation.
+        for parameter, best in zip(head.parameters(), best_parameters):
+            parameter[...] = best
+        head.set_training(False)
+        return result
+
+    def evaluate_loss(
+        self,
+        head: EmbeddingHead,
+        first: np.ndarray,
+        second: np.ndarray,
+        labels: np.ndarray,
+    ) -> float:
+        """Mean cosine embedding loss of ``head`` on pre-encoded pairs."""
+        head.set_training(False)
+        first_out = head.forward(first)
+        second_out = head.forward(second)
+        loss, _, _ = cosine_embedding_loss_and_grad(
+            first_out, second_out, labels, margin=self.config.margin
+        )
+        head.set_training(True)
+        return loss

@@ -1,0 +1,27 @@
+"""Table union search substrate.
+
+Given a query table, these searchers return the top-k data lake tables ranked
+by unionability.  DUST (Algorithm 1, line 3) can use any of them; the paper's
+experiments use Starmie and D3L as end-to-end baselines (Sec. 6.5) plus a
+ground-truth oracle when isolating the diversification stage.
+"""
+
+from repro.search.base import TableUnionSearcher, SearchResult
+from repro.search.minhash import MinHashSignature, MinHashLSHIndex
+from repro.search.overlap import ValueOverlapSearcher
+from repro.search.starmie import StarmieSearcher
+from repro.search.d3l import D3LSearcher
+from repro.search.santos import SantosSearcher
+from repro.search.oracle import OracleSearcher
+
+__all__ = [
+    "TableUnionSearcher",
+    "SearchResult",
+    "MinHashSignature",
+    "MinHashLSHIndex",
+    "ValueOverlapSearcher",
+    "StarmieSearcher",
+    "D3LSearcher",
+    "SantosSearcher",
+    "OracleSearcher",
+]

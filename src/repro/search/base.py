@@ -1,0 +1,86 @@
+"""Common interface for table union search techniques."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.utils.errors import SearchError
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked search hit: a data lake table and its unionability score."""
+
+    table_name: str
+    score: float
+    rank: int
+
+
+class TableUnionSearcher(abc.ABC):
+    """Base class for top-k unionable table search.
+
+    Lifecycle: construct, :meth:`index` a data lake once, then call
+    :meth:`search` for each query table.  Implementations must not mutate the
+    indexed lake.
+    """
+
+    def __init__(self) -> None:
+        self._lake: DataLake | None = None
+
+    # ------------------------------------------------------------------ index
+    @abc.abstractmethod
+    def _build_index(self, lake: DataLake) -> None:
+        """Build implementation-specific index structures for ``lake``."""
+
+    def index(self, lake: DataLake) -> "TableUnionSearcher":
+        """Index ``lake`` for subsequent searches."""
+        if lake.num_tables == 0:
+            raise SearchError("cannot index an empty data lake")
+        self._lake = lake
+        self._build_index(lake)
+        return self
+
+    @property
+    def lake(self) -> DataLake:
+        """The indexed data lake."""
+        if self._lake is None:
+            raise SearchError(f"{type(self).__name__} used before index() was called")
+        return self._lake
+
+    @property
+    def is_indexed(self) -> bool:
+        """Whether :meth:`index` has been called."""
+        return self._lake is not None
+
+    # ----------------------------------------------------------------- search
+    @abc.abstractmethod
+    def _score_table(self, query_table: Table, lake_table: Table) -> float:
+        """Unionability score of ``lake_table`` with respect to ``query_table``."""
+
+    def search(self, query_table: Table, k: int) -> list[SearchResult]:
+        """Return the top-``k`` unionable tables for ``query_table``.
+
+        Tables are ranked by decreasing score; ties are broken by table name
+        so rankings are deterministic.  A table with the same name as the
+        query table is never returned (the paper's benchmarks keep the query
+        outside the lake, but user lakes may not).
+        """
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        scored = [
+            (self._score_table(query_table, lake_table), lake_table.name)
+            for lake_table in self.lake
+            if lake_table.name != query_table.name
+        ]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [
+            SearchResult(table_name=name, score=float(score), rank=rank)
+            for rank, (score, name) in enumerate(scored[:k], start=1)
+        ]
+
+    def search_tables(self, query_table: Table, k: int) -> list[Table]:
+        """Like :meth:`search` but returning the table objects directly."""
+        return [self.lake.get(result.table_name) for result in self.search(query_table, k)]

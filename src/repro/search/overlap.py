@@ -1,0 +1,86 @@
+"""Value-overlap table union search (TUS-style, Nargesian et al. [37]).
+
+A data lake table is unionable with the query table when its columns overlap
+the query columns' value sets.  The table score is the average, over query
+columns, of the best (estimated) Jaccard overlap any column of the candidate
+table achieves against that query column — the "syntactic unionability"
+signal of the original TUS system, accelerated with MinHash/LSH.
+"""
+
+from __future__ import annotations
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.search.base import TableUnionSearcher
+from repro.search.minhash import MinHashLSHIndex
+from repro.utils.text import is_null, normalize_text
+
+
+def column_token_set(table: Table, column: str) -> set[str]:
+    """Normalised distinct values of a column, used as its overlap token set."""
+    return {
+        normalize_text(value)
+        for value in table.column_values(column)
+        if not is_null(value) and normalize_text(value)
+    }
+
+
+class ValueOverlapSearcher(TableUnionSearcher):
+    """Ranks lake tables by average best per-query-column value overlap.
+
+    Parameters
+    ----------
+    num_hashes, num_bands:
+        MinHash/LSH configuration controlling the accuracy/speed trade-off of
+        the Jaccard estimates.
+    min_column_overlap:
+        Column pairs with estimated overlap below this threshold do not count
+        as unionable columns (mirrors the per-column statistical test of TUS).
+    """
+
+    def __init__(
+        self,
+        *,
+        num_hashes: int = 64,
+        num_bands: int = 16,
+        min_column_overlap: float = 0.05,
+    ) -> None:
+        super().__init__()
+        self.num_hashes = num_hashes
+        self.num_bands = num_bands
+        self.min_column_overlap = min_column_overlap
+        self._index: MinHashLSHIndex | None = None
+        self._columns_by_table: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------ index
+    def _build_index(self, lake: DataLake) -> None:
+        self._index = MinHashLSHIndex(self.num_hashes, self.num_bands)
+        self._columns_by_table = {}
+        for table in lake:
+            keys = []
+            for column in table.columns:
+                key = f"{table.name}\x1f{column}"
+                self._index.add(key, column_token_set(table, column))
+                keys.append(key)
+            self._columns_by_table[table.name] = keys
+
+    # ----------------------------------------------------------------- search
+    def _score_table(self, query_table: Table, lake_table: Table) -> float:
+        assert self._index is not None  # guaranteed by TableUnionSearcher.index
+        lake_keys = self._columns_by_table.get(lake_table.name, [])
+        if not lake_keys or query_table.num_columns == 0:
+            return 0.0
+        total = 0.0
+        for query_column in query_table.columns:
+            tokens = column_token_set(query_table, query_column)
+            if not tokens:
+                continue
+            signature = self._index.hasher.signature(tokens)
+            best = 0.0
+            for key in lake_keys:
+                overlap = signature.jaccard(self._index.signature_of(key))
+                if overlap > best:
+                    best = overlap
+            if best >= self.min_column_overlap:
+                total += best
+        return total / query_table.num_columns

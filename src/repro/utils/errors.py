@@ -1,0 +1,44 @@
+"""Exception hierarchy for the DUST reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single except clause while still being able
+to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or configuration object was supplied."""
+
+
+class DataLakeError(ReproError):
+    """A table, column or data-lake operation received inconsistent data."""
+
+
+class AlignmentError(ReproError):
+    """Column alignment failed (e.g. no query columns could be matched)."""
+
+
+class EmbeddingError(ReproError):
+    """An embedding model received input it cannot encode."""
+
+
+class DiversificationError(ReproError):
+    """A diversification algorithm received an infeasible request."""
+
+
+class TrainingError(ReproError):
+    """Model fine-tuning failed (bad dataset, divergence, shape mismatch)."""
+
+
+class SearchError(ReproError):
+    """A table union search index or query operation failed."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark generator was asked for an impossible configuration."""

@@ -1,0 +1,62 @@
+"""Small text-normalisation helpers shared by tokenizers and value models."""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_NON_ALNUM_RE = re.compile(r"[^0-9a-z ]+")
+_NUMBER_RE = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?$")
+
+#: Values treated as missing/null throughout the library.
+NULL_STRINGS = frozenset({"", "nan", "none", "null", "n/a", "na", "-", "--"})
+
+
+def normalize_text(value: Any) -> str:
+    """Lower-case ``value``, strip punctuation and collapse whitespace."""
+    text = "" if value is None else str(value)
+    text = text.lower().strip()
+    text = _NON_ALNUM_RE.sub(" ", text)
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` when ``value`` represents a missing cell."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    return str(value).strip().lower() in NULL_STRINGS
+
+
+def is_numeric(value: Any) -> bool:
+    """Return ``True`` when ``value`` parses as a number (int or float)."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return not (isinstance(value, float) and math.isnan(value))
+    text = str(value).strip().replace(",", "")
+    return bool(_NUMBER_RE.match(text))
+
+
+def to_float(value: Any) -> float | None:
+    """Parse ``value`` as a float, returning ``None`` when it is not numeric."""
+    if is_null(value):
+        return None
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    text = str(value).strip().replace(",", "")
+    if _NUMBER_RE.match(text):
+        return float(text)
+    return None
+
+
+def character_ngrams(token: str, low: int = 3, high: int = 5) -> list[str]:
+    """Return padded character n-grams of ``token`` (FastText-style subwords)."""
+    padded = f"<{token}>"
+    grams: list[str] = []
+    for size in range(low, high + 1):
+        if len(padded) < size:
+            continue
+        grams.extend(padded[i : i + size] for i in range(len(padded) - size + 1))
+    return grams

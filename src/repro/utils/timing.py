@@ -1,0 +1,60 @@
+"""Lightweight wall-clock timing helpers used by the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulates elapsed wall-clock time across one or more measurements.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure():
+    ...     _ = sum(range(1000))
+    >>> timer.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    count: int = 0
+    laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        """Context manager that adds the elapsed time of its block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.total += elapsed
+            self.count += 1
+            self.laps.append(elapsed)
+
+    @property
+    def mean(self) -> float:
+        """Average seconds per measured block (0.0 if nothing measured)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def reset(self) -> None:
+        """Clear all accumulated measurements."""
+        self.total = 0.0
+        self.count = 0
+        self.laps.clear()
+
+
+def timed(func: Callable[..., T], *args: object, **kwargs: object) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

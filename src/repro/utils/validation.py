@@ -1,0 +1,74 @@
+"""Argument-validation helpers.
+
+The public API validates its inputs eagerly and raises
+:class:`repro.utils.errors.ConfigurationError` with a precise message instead
+of letting numpy broadcast errors surface far away from the mistake.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sized
+
+from repro.utils.errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+
+
+def require_non_empty(collection: Sized, name: str) -> None:
+    """Require a non-empty sized collection."""
+    if len(collection) == 0:
+        raise ConfigurationError(f"{name} must not be empty")
+
+
+def require_type(value: Any, expected: type | tuple[type, ...], name: str) -> None:
+    """Require ``isinstance(value, expected)``."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise ConfigurationError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )
+
+
+def require_same_length(first: Sized, second: Sized, names: str) -> None:
+    """Require two collections to have equal length."""
+    if len(first) != len(second):
+        raise ConfigurationError(
+            f"{names} must have equal lengths, got {len(first)} and {len(second)}"
+        )
+
+
+def require_unique(items: Iterable[Any], name: str) -> None:
+    """Require all items in ``items`` to be distinct."""
+    seen = set()
+    for item in items:
+        if item in seen:
+            raise ConfigurationError(f"{name} contains duplicate entry {item!r}")
+        seen.add(item)

@@ -1,0 +1,226 @@
+"""Tests for the synthetic benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import (
+    benchmark_statistics,
+    default_topics,
+    generate_base_table,
+    generate_finetuning_dataset,
+    generate_imdb_case_study,
+    generate_santos_benchmark,
+    generate_tus_benchmark,
+    generate_tus_sampled_benchmark,
+    generate_ugen_benchmark,
+    statistics_table,
+    topic_by_name,
+)
+from repro.benchgen.base_tables import derive_table
+from repro.benchgen.types import Benchmark
+from repro.datalake import DataLake, Table
+from repro.utils.errors import BenchmarkError
+from repro.utils.rng import seeded_rng
+
+
+class TestTopics:
+    def test_catalogue_size_and_uniqueness(self):
+        topics = default_topics()
+        assert len(topics) >= 32  # at least as many as TUS base tables
+        names = [topic.name for topic in topics]
+        assert len(set(names)) == len(names)
+
+    def test_every_topic_has_valid_columns(self):
+        for topic in default_topics():
+            assert 4 <= len(topic.columns) <= 8
+            headers = [column.name for column in topic.columns]
+            assert len(set(headers)) == len(headers)
+
+    def test_relationship_columns_exist(self):
+        for topic in default_topics():
+            subject, object_ = topic.relationship_columns
+            headers = [column.name for column in topic.columns]
+            assert subject in headers and object_ in headers
+            assert subject != object_
+
+    def test_topic_by_name(self):
+        assert topic_by_name("parks").name == "parks"
+        with pytest.raises(BenchmarkError):
+            topic_by_name("nonexistent")
+
+    def test_vocabulary_is_deterministic(self):
+        first = topic_by_name("parks").vocabulary(seed=1)
+        second = topic_by_name("parks").vocabulary(seed=1)
+        assert first.entity_stems == second.entity_stems
+
+
+class TestBaseTables:
+    def test_generate_base_table_shape_and_determinism(self):
+        topic = topic_by_name("movies")
+        first = generate_base_table(topic, num_rows=25, seed=3)
+        second = generate_base_table(topic, num_rows=25, seed=3)
+        assert first.num_rows == 25
+        assert first.columns == [column.name for column in topic.columns]
+        assert first.rows == second.rows
+
+    def test_different_seeds_differ(self):
+        topic = topic_by_name("movies")
+        first = generate_base_table(topic, num_rows=10, seed=1)
+        second = generate_base_table(topic, num_rows=10, seed=2)
+        assert first.rows != second.rows
+
+    def test_invalid_parameters(self):
+        topic = topic_by_name("parks")
+        with pytest.raises(BenchmarkError):
+            generate_base_table(topic, num_rows=0)
+        with pytest.raises(BenchmarkError):
+            generate_base_table(topic, num_rows=5, null_fraction=1.0)
+
+    def test_derive_table_provenance_and_rows(self):
+        topic = topic_by_name("parks")
+        base = generate_base_table(topic, num_rows=40, seed=0)
+        derived = derive_table(base, name="derived", rng=seeded_rng(5))
+        assert derived.num_rows <= base.num_rows
+        provenance = derived.metadata["column_provenance"]
+        assert set(provenance) == set(derived.columns)
+        assert set(provenance.values()) <= set(base.columns)
+        # Every derived row must exist in the base (projection of a base row).
+        base_projection = {
+            tuple(row[base.column_index(provenance[column])] for column in derived.columns)
+            for row in base.rows
+        }
+        assert set(derived.rows) <= base_projection
+
+    def test_derive_table_keeps_required_columns(self):
+        topic = topic_by_name("parks")
+        base = generate_base_table(topic, num_rows=30, seed=0)
+        required = topic.relationship_columns
+        derived = derive_table(
+            base, name="derived", rng=seeded_rng(9), required_columns=required,
+            rename_probability=0.0,
+        )
+        assert set(required) <= set(derived.columns)
+
+
+def _check_benchmark_invariants(benchmark: Benchmark):
+    assert benchmark.lake.num_tables > 0
+    assert benchmark.query_tables
+    lake_names = set(benchmark.lake.table_names())
+    for query in benchmark.query_tables:
+        assert query.name not in lake_names  # queries live outside the lake
+        unionable = benchmark.ground_truth.get(query.name, [])
+        assert unionable, f"query {query.name} has no unionable tables"
+        assert set(unionable) <= lake_names
+        # All unionable tables share the query's group.
+        group = benchmark.group_of(query.name)
+        assert group is not None
+        for table_name in unionable:
+            assert benchmark.group_of(table_name) == group
+
+
+class TestBenchmarks:
+    def test_tus_benchmark_structure(self):
+        benchmark = generate_tus_benchmark(
+            num_base_tables=4, base_rows=30, lake_tables_per_base=4, num_queries=4, seed=0
+        )
+        _check_benchmark_invariants(benchmark)
+        assert benchmark.name == "tus"
+        assert benchmark.lake.num_tables == 16
+
+    def test_tus_benchmark_is_deterministic(self):
+        first = generate_tus_benchmark(
+            num_base_tables=3, base_rows=20, lake_tables_per_base=3, num_queries=3, seed=5
+        )
+        second = generate_tus_benchmark(
+            num_base_tables=3, base_rows=20, lake_tables_per_base=3, num_queries=3, seed=5
+        )
+        assert first.lake.table_names() == second.lake.table_names()
+        assert first.lake.get(first.lake.table_names()[0]).rows == second.lake.get(
+            second.lake.table_names()[0]
+        ).rows
+
+    def test_tus_sampled_variant(self):
+        benchmark = generate_tus_sampled_benchmark(
+            num_base_tables=3, base_rows=20, lake_tables_per_base=3, num_queries=3
+        )
+        assert benchmark.name == "tus-sampled"
+        _check_benchmark_invariants(benchmark)
+
+    def test_tus_requires_two_base_tables(self):
+        with pytest.raises(BenchmarkError):
+            generate_tus_benchmark(num_base_tables=1)
+
+    def test_santos_benchmark_preserves_relationships(self):
+        benchmark = generate_santos_benchmark(
+            num_base_tables=3, base_rows=30, lake_tables_per_base=3, num_queries=3, seed=1
+        )
+        _check_benchmark_invariants(benchmark)
+        # Every derived table keeps its topic's subject-object column pair
+        # (modulo renaming, so check via provenance).
+        for table in benchmark.lake:
+            topic = topic_by_name(table.metadata["topic"])
+            subject, object_ = topic.relationship_columns
+            provenance_values = set(table.metadata["column_provenance"].values())
+            assert {subject, object_} <= provenance_values
+
+    def test_ugen_benchmark_structure(self):
+        benchmark = generate_ugen_benchmark(num_queries=3, seed=2)
+        _check_benchmark_invariants(benchmark)
+        # 10 unionable + 10 distractor tables per query.
+        assert benchmark.lake.num_tables == 3 * 20
+        for query in benchmark.query_tables:
+            assert len(benchmark.ground_truth[query.name]) == 10
+
+    def test_ugen_too_many_queries(self):
+        with pytest.raises(BenchmarkError):
+            generate_ugen_benchmark(num_queries=1000)
+
+    def test_imdb_case_study_structure(self):
+        benchmark = generate_imdb_case_study(
+            num_movies=80, num_lake_tables=4, rows_per_table=30, query_rows=10
+        )
+        _check_benchmark_invariants(benchmark)
+        query = benchmark.query_tables[0]
+        assert query.num_columns == 13
+        assert all(table.num_columns == 13 for table in benchmark.lake)
+        assert all(table.num_rows == 30 for table in benchmark.lake)
+
+    def test_imdb_validation(self):
+        with pytest.raises(BenchmarkError):
+            generate_imdb_case_study(num_movies=10, rows_per_table=20)
+
+    def test_benchmark_ground_truth_validation(self):
+        lake = DataLake([Table(name="a", columns=["x"], rows=[(1,)])])
+        with pytest.raises(BenchmarkError):
+            Benchmark(name="bad", lake=lake, ground_truth={"q": ["missing"]})
+
+    def test_query_table_lookup(self):
+        benchmark = generate_ugen_benchmark(num_queries=2, seed=3)
+        name = benchmark.query_tables[0].name
+        assert benchmark.query_table(name).name == name
+        with pytest.raises(BenchmarkError):
+            benchmark.query_table("missing")
+
+
+class TestStatisticsAndFinetuning:
+    def test_statistics_row(self):
+        benchmark = generate_ugen_benchmark(num_queries=2, seed=4)
+        stats = benchmark_statistics(benchmark)
+        assert stats.num_query_tables == 2
+        assert stats.num_lake_tables == benchmark.lake.num_tables
+        assert stats.avg_unionable_tables_per_query == pytest.approx(10.0)
+
+    def test_statistics_table_format(self):
+        benchmark = generate_ugen_benchmark(num_queries=2, seed=4)
+        text = statistics_table([benchmark])
+        assert "ugen-v1" in text
+        assert "AvgUnion/Q" in text
+
+    def test_finetuning_dataset_from_benchmark(self):
+        benchmark = generate_tus_benchmark(
+            num_base_tables=3, base_rows=25, lake_tables_per_base=3, num_queries=3, seed=6
+        )
+        dataset = generate_finetuning_dataset(benchmark, num_pairs=300, seed=7)
+        assert dataset.size > 150
+        labels = {pair.label for pair in dataset.train}
+        assert labels == {0, 1}

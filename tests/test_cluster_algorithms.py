@@ -1,0 +1,175 @@
+"""Tests for agglomerative clustering, silhouette selection, medoids and PCA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    AgglomerativeClustering,
+    PCA,
+    best_num_clusters,
+    cluster_medoids,
+    cluster_members,
+    medoid_index,
+    silhouette_score,
+)
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture
+def three_blobs() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    return np.vstack([center + 0.3 * rng.standard_normal((8, 2)) for center in centers])
+
+
+class TestAgglomerativeClustering:
+    def test_recovers_well_separated_blobs(self, three_blobs):
+        result = AgglomerativeClustering().cluster(three_blobs, 3)
+        assert result.num_clusters == 3
+        labels = result.labels
+        # Each blob of 8 points must be a single cluster.
+        for start in range(0, 24, 8):
+            assert len(set(labels[start : start + 8])) == 1
+
+    def test_labels_for_multiple_cuts(self, three_blobs):
+        clustering = AgglomerativeClustering().fit(three_blobs)
+        assert clustering.labels_for(1).num_clusters == 1
+        assert clustering.labels_for(3).num_clusters == 3
+        assert clustering.labels_for(100).num_clusters == len(three_blobs)
+
+    def test_single_item(self):
+        clustering = AgglomerativeClustering().fit(np.array([[1.0, 2.0]]))
+        assert clustering.labels_for(5).labels.tolist() == [0]
+
+    def test_constraints_prevent_same_group_merges(self):
+        # Two near-identical points share a group: they must never co-cluster.
+        embeddings = np.array([[0.0, 0.0], [0.01, 0.0], [5.0, 5.0], [5.01, 5.0]])
+        groups = ["t1", "t1", "t2", "t2"]
+        clustering = AgglomerativeClustering().fit(embeddings, constraint_groups=groups)
+        for k in range(clustering.min_clusters, 5):
+            labels = clustering.labels_for(k).labels
+            assert labels[0] != labels[1]
+            assert labels[2] != labels[3]
+
+    def test_constrained_clustering_still_groups_across_tables(self):
+        # Columns from different tables with near-identical embeddings cluster.
+        embeddings = np.array(
+            [[0.0, 0.0], [0.05, 0.0], [9.0, 9.0], [9.05, 9.0]]
+        )
+        groups = ["query", "lake", "query", "lake"]
+        result = AgglomerativeClustering().fit(
+            embeddings, constraint_groups=groups
+        ).labels_for(2)
+        assert result.labels[0] == result.labels[1]
+        assert result.labels[2] == result.labels[3]
+        assert result.labels[0] != result.labels[2]
+
+    def test_members_listing(self, three_blobs):
+        result = AgglomerativeClustering().cluster(three_blobs, 3)
+        members = result.members()
+        assert sum(len(group) for group in members) == len(three_blobs)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            AgglomerativeClustering(linkage="ward")
+        with pytest.raises(ConfigurationError):
+            AgglomerativeClustering().fit(np.zeros((0, 3)))
+        with pytest.raises(ConfigurationError):
+            AgglomerativeClustering().fit(np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            AgglomerativeClustering().fit(np.zeros((3, 2)), constraint_groups=["a"])
+        clustering = AgglomerativeClustering()
+        with pytest.raises(ConfigurationError):
+            clustering.labels_for(2)
+
+    @pytest.mark.parametrize("linkage", ["average", "complete", "single"])
+    def test_all_linkages_run(self, linkage, three_blobs):
+        result = AgglomerativeClustering(linkage=linkage).cluster(three_blobs, 3)
+        assert result.num_clusters == 3
+
+
+class TestSilhouette:
+    def test_good_clustering_scores_higher(self, three_blobs):
+        good = AgglomerativeClustering().cluster(three_blobs, 3).labels
+        bad = np.arange(len(three_blobs)) % 2
+        assert silhouette_score(three_blobs, good) > silhouette_score(three_blobs, bad)
+
+    def test_degenerate_clusterings_score_zero(self, three_blobs):
+        assert silhouette_score(three_blobs, np.zeros(len(three_blobs))) == 0.0
+        assert silhouette_score(three_blobs, np.arange(len(three_blobs))) == 0.0
+
+    def test_best_num_clusters_finds_three(self, three_blobs):
+        clustering = AgglomerativeClustering().fit(three_blobs)
+        best, score = best_num_clusters(
+            three_blobs,
+            lambda k: clustering.labels_for(k).labels,
+            range(2, 10),
+        )
+        assert best == 3
+        assert score > 0.5
+
+    def test_best_num_clusters_no_valid_candidates(self, three_blobs):
+        best, score = best_num_clusters(three_blobs, lambda k: [0], [1])
+        assert best == 1 and score == 0.0
+
+    def test_mismatched_labels_rejected(self, three_blobs):
+        with pytest.raises(ConfigurationError):
+            silhouette_score(three_blobs, [0, 1])
+
+
+class TestMedoids:
+    def test_medoid_is_central(self):
+        embeddings = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        assert medoid_index(embeddings, [0, 1, 2], metric="euclidean") == 1
+
+    def test_single_member(self):
+        assert medoid_index(np.zeros((3, 2)), [2]) == 2
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            medoid_index(np.zeros((3, 2)), [])
+
+    def test_cluster_medoids_one_per_cluster(self, three_blobs):
+        labels = AgglomerativeClustering().cluster(three_blobs, 3).labels
+        medoids = cluster_medoids(three_blobs, labels, metric="euclidean")
+        assert len(medoids) == 3
+        assert len(set(labels[m] for m in medoids)) == 3
+
+    def test_cluster_members_grouping(self):
+        members = cluster_members([1, 0, 1, 2])
+        assert members == {0: [1], 1: [0, 2], 2: [3]}
+
+
+class TestPCA:
+    def test_projects_to_requested_dimensions(self, three_blobs):
+        projection = PCA(num_components=2).fit_transform(three_blobs)
+        assert projection.shape == (len(three_blobs), 2)
+
+    def test_first_component_captures_most_variance(self, three_blobs):
+        pca = PCA(num_components=2).fit(three_blobs)
+        ratios = pca.explained_variance_ratio
+        assert ratios[0] >= ratios[1]
+        assert 0.0 <= ratios.sum() <= 1.0 + 1e-9
+
+    def test_transform_single_vector(self, three_blobs):
+        pca = PCA(2).fit(three_blobs)
+        assert pca.transform(three_blobs[0]).shape == (1, 2)
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            PCA(0)
+        with pytest.raises(ConfigurationError):
+            PCA(2).fit(np.zeros((1, 3)))
+        with pytest.raises(ConfigurationError):
+            PCA(5).fit(np.zeros((3, 2)))
+        with pytest.raises(ConfigurationError):
+            PCA(2).transform(np.zeros((2, 2)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=4, max_value=12), st.integers(min_value=2, max_value=6))
+    def test_pca_reconstruction_variance_bounded(self, n_samples, n_features):
+        rng = np.random.default_rng(n_samples * 100 + n_features)
+        data = rng.standard_normal((n_samples, n_features))
+        pca = PCA(num_components=min(2, n_features)).fit(data)
+        assert pca.explained_variance_ratio.sum() <= 1.0 + 1e-9

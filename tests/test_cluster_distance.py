@@ -1,0 +1,128 @@
+"""Tests for repro.cluster.distance (including property-based invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cluster.distance import (
+    DISTANCE_FUNCTIONS,
+    cosine_distance,
+    cosine_distance_matrix,
+    euclidean_distance,
+    euclidean_distance_matrix,
+    manhattan_distance,
+    manhattan_distance_matrix,
+    pairwise_distance_matrix,
+)
+
+finite_vectors = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=8),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestCosineDistance:
+    def test_identical_vectors(self):
+        vector = np.array([1.0, 2.0, 3.0])
+        assert cosine_distance(vector, vector) == pytest.approx(0.0, abs=1e-9)
+
+    def test_opposite_vectors(self):
+        assert cosine_distance(np.array([1.0, 0.0]), np.array([-1.0, 0.0])) == pytest.approx(2.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_zero_vector_is_maximally_distant(self):
+        assert cosine_distance(np.zeros(3), np.array([1.0, 0.0, 0.0])) == 1.0
+
+    def test_matrix_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        first, second = rng.standard_normal((4, 6)), rng.standard_normal((3, 6))
+        matrix = cosine_distance_matrix(first, second)
+        assert matrix.shape == (4, 3)
+        assert matrix[1, 2] == pytest.approx(cosine_distance(first[1], second[2]))
+
+    def test_self_matrix_zero_diagonal(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((5, 4))
+        matrix = cosine_distance_matrix(data)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_zero_rows_in_matrix(self):
+        data = np.array([[0.0, 0.0], [1.0, 0.0]])
+        matrix = cosine_distance_matrix(data)
+        assert matrix[0, 1] == 1.0
+
+
+class TestOtherMetrics:
+    def test_euclidean(self):
+        assert euclidean_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert manhattan_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(7.0)
+
+    def test_matrix_forms_match_scalars(self):
+        rng = np.random.default_rng(2)
+        first, second = rng.standard_normal((3, 5)), rng.standard_normal((4, 5))
+        euclid = euclidean_distance_matrix(first, second)
+        manhat = manhattan_distance_matrix(first, second)
+        assert euclid[2, 1] == pytest.approx(euclidean_distance(first[2], second[1]))
+        assert manhat[0, 3] == pytest.approx(manhattan_distance(first[0], second[3]))
+
+    def test_pairwise_dispatch_and_unknown_metric(self):
+        data = np.random.default_rng(3).standard_normal((4, 3))
+        for metric in ("cosine", "euclidean", "manhattan"):
+            matrix = pairwise_distance_matrix(data, metric=metric)
+            assert matrix.shape == (4, 4)
+        with pytest.raises(ValueError, match="unknown metric"):
+            pairwise_distance_matrix(data, metric="hamming")
+
+    def test_registry_contains_all_metrics(self):
+        assert set(DISTANCE_FUNCTIONS) == {"cosine", "euclidean", "manhattan"}
+
+
+class TestDistanceProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(finite_vectors)
+    def test_self_distance_is_zero(self, vector):
+        for name, func in DISTANCE_FUNCTIONS.items():
+            if name == "cosine" and np.linalg.norm(vector) == 0:
+                continue
+            assert func(vector, vector) == pytest.approx(0.0, abs=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_symmetry_and_non_negativity(self, data):
+        dimension = data.draw(st.integers(min_value=1, max_value=6))
+        element = st.floats(min_value=-50, max_value=50, allow_nan=False)
+        first = np.array(data.draw(st.lists(element, min_size=dimension, max_size=dimension)))
+        second = np.array(data.draw(st.lists(element, min_size=dimension, max_size=dimension)))
+        for func in DISTANCE_FUNCTIONS.values():
+            assert func(first, second) == pytest.approx(func(second, first), abs=1e-9)
+            assert func(first, second) >= -1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_euclidean_triangle_inequality(self, data):
+        dimension = data.draw(st.integers(min_value=1, max_value=5))
+        element = st.floats(min_value=-20, max_value=20, allow_nan=False)
+        draw_vector = lambda: np.array(
+            data.draw(st.lists(element, min_size=dimension, max_size=dimension))
+        )
+        a, b, c = draw_vector(), draw_vector(), draw_vector()
+        assert euclidean_distance(a, c) <= (
+            euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_cosine_distance_bounds(self, data):
+        dimension = data.draw(st.integers(min_value=1, max_value=6))
+        element = st.floats(min_value=-50, max_value=50, allow_nan=False)
+        first = np.array(data.draw(st.lists(element, min_size=dimension, max_size=dimension)))
+        second = np.array(data.draw(st.lists(element, min_size=dimension, max_size=dimension)))
+        value = cosine_distance(first, second)
+        assert -1e-9 <= value <= 2.0 + 1e-9

@@ -1,0 +1,125 @@
+"""Tests for repro.datalake.table."""
+
+import pytest
+
+from repro.datalake import Column, Table
+from repro.utils.errors import DataLakeError
+
+
+@pytest.fixture
+def parks_table() -> Table:
+    return Table(
+        name="parks",
+        columns=["Park Name", "Supervisor", "Country"],
+        rows=[
+            ("River Park", "Vera Onate", "USA"),
+            ("West Lawn Park", "Paul Veliotis", "USA"),
+            ("Hyde Park", "Jenny Rishi", "UK"),
+        ],
+    )
+
+
+class TestTableConstruction:
+    def test_shape_properties(self, parks_table):
+        assert parks_table.num_rows == 3
+        assert parks_table.num_columns == 3
+        assert len(parks_table) == 3
+        assert list(iter(parks_table))[0][0] == "River Park"
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(DataLakeError, match="duplicate"):
+            Table(name="bad", columns=["a", "a"], rows=[])
+
+    def test_row_arity_validated(self):
+        with pytest.raises(DataLakeError, match="row 0"):
+            Table(name="bad", columns=["a", "b"], rows=[(1,)])
+
+    def test_rows_normalised_to_tuples(self):
+        table = Table(name="t", columns=["a"], rows=[[1], [2]])
+        assert all(isinstance(row, tuple) for row in table.rows)
+
+
+class TestTableAccessors:
+    def test_column_index_and_ref(self, parks_table):
+        assert parks_table.column_index("Country") == 2
+        ref = parks_table.column_ref("Country")
+        assert ref == Column("parks", "Country", 2)
+        assert ref.qualified_name == "parks.Country"
+
+    def test_column_index_unknown(self, parks_table):
+        with pytest.raises(DataLakeError, match="no column"):
+            parks_table.column_index("Missing")
+
+    def test_column_refs_order(self, parks_table):
+        refs = parks_table.column_refs()
+        assert [r.name for r in refs] == parks_table.columns
+        assert [r.index for r in refs] == [0, 1, 2]
+
+    def test_column_values_and_nulls(self):
+        table = Table(name="t", columns=["a"], rows=[(1,), (None,), ("",)])
+        assert table.column_values("a") == [1, None, ""]
+        assert table.column_values("a", drop_nulls=True) == [1]
+
+    def test_row_dict(self, parks_table):
+        assert parks_table.row_dict(0) == {
+            "Park Name": "River Park",
+            "Supervisor": "Vera Onate",
+            "Country": "USA",
+        }
+        with pytest.raises(DataLakeError):
+            parks_table.row_dict(99)
+
+
+class TestTableOperations:
+    def test_project_preserves_order_and_rows(self, parks_table):
+        projected = parks_table.project(["Country", "Park Name"])
+        assert projected.columns == ["Country", "Park Name"]
+        assert projected.rows[0] == ("USA", "River Park")
+        assert parks_table.columns == ["Park Name", "Supervisor", "Country"]
+
+    def test_select_rows(self, parks_table):
+        selected = parks_table.select_rows([2, 0])
+        assert selected.rows == [parks_table.rows[2], parks_table.rows[0]]
+        with pytest.raises(DataLakeError):
+            parks_table.select_rows([5])
+
+    def test_rename_columns(self, parks_table):
+        renamed = parks_table.rename_columns({"Supervisor": "Supervised By"})
+        assert "Supervised By" in renamed.columns
+        assert "Supervisor" not in renamed.columns
+        assert renamed.rows == parks_table.rows
+
+    def test_drop_all_null_columns(self):
+        table = Table(
+            name="t", columns=["a", "b"], rows=[(1, None), (2, None)]
+        )
+        cleaned = table.drop_all_null_columns()
+        assert cleaned.columns == ["a"]
+        # Untouched when nothing to drop (same object).
+        assert cleaned.drop_all_null_columns() is cleaned
+
+    def test_distinct_rows(self):
+        table = Table(name="t", columns=["a"], rows=[(1,), (1,), (2,)])
+        assert table.distinct_rows().rows == [(1,), (2,)]
+
+    def test_append_rows(self, parks_table):
+        parks_table.append_rows([("Grant Park", "Alice Morgan", "USA")])
+        assert parks_table.num_rows == 4
+        with pytest.raises(DataLakeError):
+            parks_table.append_rows([("too", "short")])
+
+    def test_is_numeric_column(self):
+        table = Table(
+            name="t",
+            columns=["num", "mixed", "text"],
+            rows=[(1, 1, "a"), (2, "x", "b"), (3, "y", "c"), (4, 4, "d"), (5, 5, "e")],
+        )
+        assert table.is_numeric_column("num")
+        assert not table.is_numeric_column("mixed")
+        assert not table.is_numeric_column("text")
+
+    def test_copy_is_independent(self, parks_table):
+        copy = parks_table.copy(name="copy")
+        copy.append_rows([("New", "Person", "USA")])
+        assert parks_table.num_rows == 3
+        assert copy.name == "copy"

@@ -1,0 +1,186 @@
+"""Tests for the diversification baselines (GMC, GNE, CLT, SWAP, Max-Min,
+Max-Sum, random) and the shared request/objective machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import average_diversity, min_diversity
+from repro.diversify import (
+    CLTDiversifier,
+    DiversificationRequest,
+    GMCDiversifier,
+    GNEDiversifier,
+    MaxMinDiversifier,
+    MaxSumDiversifier,
+    RandomDiversifier,
+    SwapDiversifier,
+    mmr_objective,
+)
+from repro.diversify.random_select import best_of_random
+from repro.utils.errors import DiversificationError
+
+ALL_DIVERSIFIERS = [
+    GMCDiversifier(),
+    GNEDiversifier(iterations=1, max_swaps=30, seed=1),
+    CLTDiversifier(),
+    SwapDiversifier(),
+    MaxMinDiversifier(),
+    MaxSumDiversifier(),
+    RandomDiversifier(seed=3),
+]
+
+
+@pytest.fixture(scope="module")
+def clustered_request() -> DiversificationRequest:
+    """Candidates in 5 tight clusters; query sits on top of cluster 0."""
+    rng = np.random.default_rng(11)
+    centers = rng.standard_normal((5, 8)) * 5
+    candidates = np.vstack(
+        [center + 0.05 * rng.standard_normal((12, 8)) for center in centers]
+    )
+    query = centers[0] + 0.05 * rng.standard_normal((4, 8))
+    return DiversificationRequest(
+        query_embeddings=query, candidate_embeddings=candidates, k=5
+    )
+
+
+class TestDiversificationRequest:
+    def test_validation(self):
+        with pytest.raises(DiversificationError):
+            DiversificationRequest(np.zeros((1, 2)), np.zeros((0, 2)), k=1)
+        with pytest.raises(DiversificationError):
+            DiversificationRequest(np.zeros((1, 2)), np.ones((3, 2)), k=0)
+        with pytest.raises(DiversificationError):
+            DiversificationRequest(np.zeros((1, 2)), np.ones((3, 2)), k=4)
+        with pytest.raises(DiversificationError):
+            DiversificationRequest(np.zeros((1, 3)), np.ones((3, 2)), k=1)
+
+    def test_empty_query_allowed(self):
+        request = DiversificationRequest(np.zeros((0, 4)), np.ones((3, 4)), k=2)
+        assert request.relevance().shape == (3,)
+        assert (request.relevance() == 1.0).all()
+
+    def test_cached_matrices_shapes(self, clustered_request):
+        assert clustered_request.candidate_distances().shape == (60, 60)
+        assert clustered_request.query_candidate_distances().shape == (60, 4)
+
+    def test_mmr_objective_increases_with_diversity(self, clustered_request):
+        # Two far-apart candidates score higher than two nearly identical ones.
+        spread = mmr_objective(clustered_request, [0, 12])
+        tight = mmr_objective(clustered_request, [0, 1])
+        assert spread > tight
+        assert mmr_objective(clustered_request, []) == 0.0
+
+
+class TestSelectionInvariants:
+    @pytest.mark.parametrize("diversifier", ALL_DIVERSIFIERS, ids=lambda d: d.name)
+    def test_selects_k_unique_valid_indices(self, diversifier, clustered_request):
+        selection = diversifier.select(clustered_request)
+        assert len(selection) == clustered_request.k
+        assert len(set(selection)) == clustered_request.k
+        assert all(0 <= index < 60 for index in selection)
+
+    @pytest.mark.parametrize("diversifier", ALL_DIVERSIFIERS, ids=lambda d: d.name)
+    def test_select_embeddings_shape(self, diversifier, clustered_request):
+        embeddings = diversifier.select_embeddings(clustered_request)
+        assert embeddings.shape == (clustered_request.k, 8)
+
+    @pytest.mark.parametrize(
+        "diversifier",
+        [GMCDiversifier(), CLTDiversifier(), MaxMinDiversifier(), MaxSumDiversifier()],
+        ids=lambda d: d.name,
+    )
+    def test_structured_diversifiers_beat_worst_case(self, diversifier, clustered_request):
+        """Diversity-aware methods must beat picking one tight cluster."""
+        selection = diversifier.select(clustered_request)
+        selected = clustered_request.candidate_embeddings[selection]
+        worst = clustered_request.candidate_embeddings[:5]  # all from cluster 0
+        query = clustered_request.query_embeddings
+        assert average_diversity(query, selected) > average_diversity(query, worst)
+
+    def test_maxmin_covers_distinct_clusters(self, clustered_request):
+        selection = MaxMinDiversifier().select(clustered_request)
+        clusters_hit = {index // 12 for index in selection}
+        assert len(clusters_hit) >= 4
+
+    def test_k_equals_candidate_count(self):
+        rng = np.random.default_rng(0)
+        request = DiversificationRequest(
+            rng.standard_normal((2, 4)), rng.standard_normal((6, 4)), k=6
+        )
+        for diversifier in ALL_DIVERSIFIERS:
+            assert sorted(diversifier.select(request)) == list(range(6))
+
+
+class TestSpecificAlgorithms:
+    def test_gmc_trade_off_validation(self):
+        with pytest.raises(ValueError):
+            GMCDiversifier(trade_off=1.5)
+
+    def test_gne_validation(self):
+        with pytest.raises(ValueError):
+            GNEDiversifier(iterations=0)
+        with pytest.raises(ValueError):
+            GNEDiversifier(candidate_fraction=0.0)
+
+    def test_gne_is_deterministic_per_seed(self, clustered_request):
+        first = GNEDiversifier(iterations=1, max_swaps=10, seed=7).select(clustered_request)
+        second = GNEDiversifier(iterations=1, max_swaps=10, seed=7).select(clustered_request)
+        assert first == second
+
+    def test_gne_not_worse_than_its_construction(self, clustered_request):
+        gne = GNEDiversifier(iterations=2, max_swaps=50, seed=5)
+        selection = gne.select(clustered_request)
+        assert mmr_objective(clustered_request, selection) > 0
+
+    def test_swap_validation(self):
+        with pytest.raises(ValueError):
+            SwapDiversifier(relevance_tolerance=-1)
+        with pytest.raises(ValueError):
+            SwapDiversifier(max_rounds=0)
+
+    def test_random_deterministic_per_seed(self, clustered_request):
+        assert RandomDiversifier(seed=2).select(clustered_request) == RandomDiversifier(
+            seed=2
+        ).select(clustered_request)
+
+    def test_best_of_random_maximises_score(self, clustered_request):
+        query = clustered_request.query_embeddings
+
+        def score(selection):
+            return average_diversity(
+                query, clustered_request.candidate_embeddings[selection]
+            )
+
+        selection, best_score = best_of_random(clustered_request, score, seeds=(1, 2, 3))
+        assert best_score >= score(RandomDiversifier(seed=1).select(clustered_request)) - 1e-12
+        assert len(selection) == clustered_request.k
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_candidates=st.integers(min_value=3, max_value=30),
+        k=st.integers(min_value=1, max_value=10),
+        dimension=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_every_diversifier_returns_valid_selection(
+        self, num_candidates, k, dimension, seed
+    ):
+        k = min(k, num_candidates)
+        rng = np.random.default_rng(seed)
+        request = DiversificationRequest(
+            query_embeddings=rng.standard_normal((2, dimension)),
+            candidate_embeddings=rng.standard_normal((num_candidates, dimension)),
+            k=k,
+        )
+        for diversifier in (
+            GMCDiversifier(),
+            CLTDiversifier(),
+            MaxMinDiversifier(),
+            MaxSumDiversifier(),
+            RandomDiversifier(seed=seed),
+        ):
+            selection = diversifier.select(request)
+            assert len(selection) == k
+            assert len(set(selection)) == k

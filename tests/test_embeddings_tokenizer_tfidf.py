@@ -1,0 +1,91 @@
+"""Tests for the tokenizer and TF-IDF token selection."""
+
+import pytest
+
+from repro.embeddings.tfidf import TfidfSelector
+from repro.embeddings.tokenizer import (
+    CLS_TOKEN,
+    NULL_TOKEN,
+    NUM_TOKEN,
+    SEP_TOKEN,
+    Tokenizer,
+)
+from repro.utils.errors import EmbeddingError
+
+
+class TestTokenizer:
+    def test_tokenize_value_text(self):
+        cell = Tokenizer().tokenize_value("River Park")
+        assert cell.tokens == ("river", "park")
+        assert not cell.numeric
+
+    def test_tokenize_value_null(self):
+        assert Tokenizer().tokenize_value(None).tokens == (NULL_TOKEN,)
+        assert Tokenizer().tokenize_value("  ").tokens == (NULL_TOKEN,)
+
+    def test_tokenize_value_numeric_marks_magnitude(self):
+        cell = Tokenizer().tokenize_value("1234")
+        assert cell.numeric
+        assert cell.tokens[0] == NUM_TOKEN
+        assert cell.tokens[1] == "mag3"
+
+    def test_numbers_kept_when_marking_disabled(self):
+        cell = Tokenizer(mark_numbers=False).tokenize_value("1234")
+        assert cell.tokens == ("1234",)
+
+    def test_tokenize_text_preserves_special_tokens(self):
+        tokens = Tokenizer().tokenize_text(f"{CLS_TOKEN} Park Name River Park {SEP_TOKEN}")
+        assert tokens[0] == CLS_TOKEN
+        assert SEP_TOKEN in tokens
+        assert "river" in tokens
+
+    def test_tokenize_sequence_respects_max_length(self):
+        tokenizer = Tokenizer(max_length=5)
+        tokens = tokenizer.tokenize_sequence(["one two three", "four five six seven"])
+        assert len(tokens) <= 5
+
+    def test_invalid_max_length(self):
+        with pytest.raises(ValueError):
+            Tokenizer(max_length=0)
+
+    def test_magnitude_buckets(self):
+        assert Tokenizer._magnitude_bucket(0) == "mag0"
+        assert Tokenizer._magnitude_bucket(9) == "mag0"
+        assert Tokenizer._magnitude_bucket(100) == "mag2"
+        assert Tokenizer._magnitude_bucket("not a number") == "mag0"
+
+
+class TestTfidfSelector:
+    def test_unfitted_select_uses_term_frequency(self):
+        selector = TfidfSelector()
+        tokens = ["a", "a", "b", "c"]
+        assert selector.select(tokens, 2)[0] == "a"
+
+    def test_idf_requires_fit(self):
+        with pytest.raises(EmbeddingError):
+            TfidfSelector().idf("a")
+
+    def test_rare_tokens_rank_higher_after_fit(self):
+        corpus = [["common", "x"], ["common", "y"], ["common", "rare"]]
+        selector = TfidfSelector().fit(corpus)
+        selected = selector.select(["common", "rare"], 1)
+        assert selected == ["rare"]
+
+    def test_select_limit_validation(self):
+        with pytest.raises(EmbeddingError):
+            TfidfSelector().select(["a"], 0)
+
+    def test_select_empty_tokens(self):
+        assert TfidfSelector().select([], 5) == []
+
+    def test_select_is_deterministic(self):
+        corpus = [["a", "b"], ["b", "c"]]
+        selector = TfidfSelector().fit(corpus)
+        tokens = ["a", "c", "b", "a"]
+        assert selector.select(tokens, 3) == selector.select(tokens, 3)
+
+    def test_weights_sum_positive(self):
+        selector = TfidfSelector().fit([["a", "b"], ["a"]])
+        weights = selector.weights(["a", "b", "b"])
+        assert set(weights) == {"a", "b"}
+        assert all(value > 0 for value in weights.values())

@@ -1,0 +1,217 @@
+"""Tests for the evaluation harness (alignment scoring, diversity experiments,
+workload preparation, case study)."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import generate_imdb_case_study, generate_ugen_benchmark
+from repro.core import DustDiversifier
+from repro.diversify import CLTDiversifier, MaxSumDiversifier, RandomDiversifier
+from repro.embeddings import (
+    AlignedTuple,
+    CellLevelColumnEncoder,
+    FastTextLikeModel,
+    GloveLikeModel,
+)
+from repro.alignment import HolisticColumnAligner
+from repro.evaluation import (
+    alignment_ground_truth,
+    alignment_precision_recall_f1,
+    count_wins,
+    evaluate_alignment_on_benchmark,
+    evaluate_diversifiers_on_benchmark,
+    prepare_query_workload,
+    unique_values_added,
+)
+from repro.evaluation.case_study import case_study_series, tuples_from_table_union
+from repro.evaluation.diversity import format_win_table
+from repro.evaluation.representation import (
+    default_pretrained_baselines,
+    evaluate_representation_models,
+    format_representation_results,
+)
+from repro.models.dataset import TuplePair, TuplePairDataset
+from repro.utils.errors import BenchmarkError, DiversificationError
+from repro.datalake import Table
+
+
+@pytest.fixture(scope="module")
+def ugen_benchmark():
+    return generate_ugen_benchmark(num_queries=2, seed=13)
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return GloveLikeModel(dimension=64)
+
+
+@pytest.fixture(scope="module")
+def workloads(ugen_benchmark, encoder):
+    return {
+        query.name: prepare_query_workload(ugen_benchmark, query, encoder)
+        for query in ugen_benchmark.query_tables
+    }
+
+
+class TestAlignmentEvaluation:
+    def test_pair_metrics(self):
+        truth = {frozenset({"q.a", "t.a"}), frozenset({"q.b"})}
+        perfect = alignment_precision_recall_f1(truth, truth)
+        assert perfect.precision == perfect.recall == perfect.f1 == 1.0
+        half = alignment_precision_recall_f1({frozenset({"q.a", "t.a"})}, truth)
+        assert half.precision == 1.0
+        assert half.recall == pytest.approx(0.5)
+        empty = alignment_precision_recall_f1(set(), truth)
+        assert empty.precision == 0.0 and empty.f1 == 0.0
+
+    def test_ground_truth_from_provenance(self, ugen_benchmark):
+        query = ugen_benchmark.query_tables[0]
+        lake_tables = ugen_benchmark.unionable_tables(query.name)[:3]
+        truth = alignment_ground_truth(query, lake_tables)
+        assert truth
+        # Every pair must involve at least one query column or be a singleton.
+        query_prefix = f"{query.name}."
+        for pair in truth:
+            names = list(pair)
+            assert any(
+                name.startswith(query_prefix) for name in names
+            ) or len(names) >= 1
+
+    def test_evaluate_alignment_on_benchmark(self, ugen_benchmark):
+        aligner = HolisticColumnAligner(CellLevelColumnEncoder(FastTextLikeModel()))
+        scores = evaluate_alignment_on_benchmark(
+            ugen_benchmark, aligner.align, max_queries=1, max_tables_per_query=3
+        )
+        assert 0.0 <= scores.precision <= 1.0
+        assert 0.0 <= scores.recall <= 1.0
+        assert scores.f1 > 0.3  # well above random pairing
+
+
+class TestWorkloadPreparation:
+    def test_workload_shapes(self, ugen_benchmark, workloads):
+        for query in ugen_benchmark.query_tables:
+            workload = workloads[query.name]
+            assert workload.query_embeddings.shape[0] == query.num_rows
+            assert workload.candidate_embeddings.shape[0] == workload.num_candidates
+            assert len(workload.table_ids) == workload.num_candidates
+            assert set(workload.table_ids) <= set(
+                ugen_benchmark.ground_truth[query.name]
+            )
+
+    def test_candidate_cap(self, ugen_benchmark, encoder):
+        query = ugen_benchmark.query_tables[0]
+        workload = prepare_query_workload(
+            ugen_benchmark, query, encoder, max_candidate_tuples=7
+        )
+        assert workload.num_candidates == 7
+
+    def test_full_alignment_path(self, ugen_benchmark, encoder):
+        query = ugen_benchmark.query_tables[0]
+        workload = prepare_query_workload(
+            ugen_benchmark,
+            query,
+            encoder,
+            use_provenance_alignment=False,
+            column_encoder=CellLevelColumnEncoder(FastTextLikeModel()),
+            max_unionable_tables=3,
+        )
+        assert workload.num_candidates > 0
+
+    def test_full_alignment_requires_column_encoder(self, ugen_benchmark, encoder):
+        with pytest.raises(BenchmarkError):
+            prepare_query_workload(
+                ugen_benchmark,
+                ugen_benchmark.query_tables[0],
+                encoder,
+                use_provenance_alignment=False,
+            )
+
+
+class TestDiversityExperiment:
+    def test_outcomes_and_win_counting(self, workloads):
+        methods = {
+            "random": RandomDiversifier(seed=1),
+            "clt": CLTDiversifier(),
+            "maxsum": MaxSumDiversifier(),
+            "dust": DustDiversifier(),
+        }
+        outcomes = evaluate_diversifiers_on_benchmark(workloads, methods, k=10)
+        assert set(outcomes) == set(methods)
+        for outcome in outcomes.values():
+            assert set(outcome.average_scores) == set(workloads)
+            assert all(value >= 0 for value in outcome.average_scores.values())
+            assert outcome.mean_time >= 0.0
+
+        summary = count_wins(outcomes)
+        # Every query has at least one winner per metric.
+        assert sum(row["average_wins"] for row in summary.values()) >= len(workloads)
+        assert sum(row["min_wins"] for row in summary.values()) >= len(workloads)
+        # DUST should never lose to uniform random sampling on Min Diversity.
+        assert summary["dust"]["min_wins"] >= summary["random"]["min_wins"]
+        text = format_win_table(summary, benchmark="test")
+        assert "dust" in text
+
+    def test_callable_methods_supported(self, workloads):
+        def first_k(workload, k):
+            return list(range(k))
+
+        outcomes = evaluate_diversifiers_on_benchmark(
+            workloads, {"first": first_k}, k=5
+        )
+        assert set(outcomes["first"].average_scores) == set(workloads)
+
+    def test_empty_inputs_rejected(self, workloads):
+        with pytest.raises(DiversificationError):
+            evaluate_diversifiers_on_benchmark({}, {"r": RandomDiversifier()}, k=3)
+        with pytest.raises(DiversificationError):
+            evaluate_diversifiers_on_benchmark(workloads, {}, k=3)
+
+
+class TestRepresentationEvaluationHarness:
+    def test_evaluate_and_format(self):
+        pairs_a = [
+            TuplePair(first="[CLS] name park one [SEP]", second="[CLS] name park two [SEP]", label=1),
+            TuplePair(first="[CLS] name park one [SEP]", second="[CLS] title movie [SEP]", label=0),
+        ]
+        dataset = TuplePairDataset(train=pairs_a, validation=pairs_a, test=pairs_a)
+        models = default_pretrained_baselines()
+        results = evaluate_representation_models(dataset, {"bert": models["bert"]})
+        assert "bert" in results
+        text = format_representation_results(results)
+        assert "bert" in text and "Test Acc" in text
+        assert format_representation_results({}) == "(no models evaluated)"
+
+
+class TestCaseStudy:
+    def test_unique_values_added(self):
+        query = Table(name="q", columns=["title"], rows=[("A",), ("B",)])
+        tuples = [
+            AlignedTuple("lake", 0, {"title": "B"}),
+            AlignedTuple("lake", 1, {"title": "C"}),
+            AlignedTuple("lake", 2, {"title": "D"}),
+        ]
+        assert unique_values_added(query, tuples, "title") == 2
+        with pytest.raises(BenchmarkError):
+            unique_values_added(query, tuples, "missing")
+
+    def test_tuples_from_table_union_bag_vs_set(self):
+        table_a = Table(name="a", columns=["x"], rows=[("1",), ("1",), ("2",)])
+        table_b = Table(name="b", columns=["x"], rows=[("2",), ("3",)])
+        bag = tuples_from_table_union([table_a, table_b], ["x"], k=4)
+        assert [t.values["x"] for t in bag] == ["1", "1", "2", "2"]
+        dedup = tuples_from_table_union([table_a, table_b], ["x"], k=4, deduplicate=True)
+        assert [t.values["x"] for t in dedup] == ["1", "2", "3"]
+
+    def test_case_study_on_generated_imdb(self):
+        imdb = generate_imdb_case_study(
+            num_movies=60, num_lake_tables=3, rows_per_table=20, query_rows=10
+        )
+        query = imdb.query_tables[0]
+        ranked = imdb.lake.tables()
+        methods = {
+            "baseline": tuples_from_table_union(ranked, query.columns, k=15),
+            "baseline-d": tuples_from_table_union(ranked, query.columns, k=15, deduplicate=True),
+        }
+        series = case_study_series(query, methods, ["title", "languages"])
+        assert set(series) == {"baseline", "baseline-d"}
+        assert all(count >= 0 for counts in series.values() for count in counts.values())

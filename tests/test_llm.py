@@ -1,0 +1,92 @@
+"""Tests for the simulated LLM diversification baseline."""
+
+import pytest
+
+from repro.datalake import Table
+from repro.llm import (
+    LLMTokenLimitError,
+    SimulatedLLM,
+    build_diversification_prompt,
+    estimate_prompt_tokens,
+)
+from repro.llm.prompt import render_table_pipe_separated
+from repro.utils.errors import ReproError
+
+
+@pytest.fixture
+def query_table() -> Table:
+    return Table(
+        name="parks",
+        columns=["Park Name", "Supervisor", "Country"],
+        rows=[
+            ("River Park", "Vera Onate", "USA"),
+            ("West Lawn Park", "Paul Veliotis", "USA"),
+            ("Hyde Park", "Jenny Rishi", "UK"),
+        ],
+    )
+
+
+class TestPrompt:
+    def test_prompt_contains_table_and_k(self, query_table):
+        prompt = build_diversification_prompt(query_table, 7)
+        assert "Generate 7 new tuples" in prompt
+        assert "River Park" in prompt
+        assert "pipe-separated" in prompt
+
+    def test_pipe_rendering(self, query_table):
+        rendered = render_table_pipe_separated(query_table)
+        lines = rendered.splitlines()
+        assert lines[0] == "Park Name | Supervisor | Country"
+        assert len(lines) == 1 + query_table.num_rows
+
+    def test_token_estimate_grows_with_table(self, query_table):
+        small = estimate_prompt_tokens(build_diversification_prompt(query_table, 5))
+        bigger_table = Table(
+            name="big",
+            columns=query_table.columns,
+            rows=query_table.rows * 50,
+        )
+        big = estimate_prompt_tokens(build_diversification_prompt(bigger_table, 5))
+        assert big > small > 0
+
+
+class TestSimulatedLLM:
+    def test_generates_k_tuples_over_query_schema(self, query_table):
+        llm = SimulatedLLM(seed=1)
+        tuples = llm.generate_tuples(query_table, 10)
+        assert len(tuples) == 10
+        assert all(set(t.values) == set(query_table.columns) for t in tuples)
+
+    def test_novel_then_redundant_behaviour(self, query_table):
+        llm = SimulatedLLM(novel_fraction=0.4, seed=2)
+        tuples = llm.generate_tuples(query_table, 10)
+        query_rows = {tuple(row) for row in query_table.rows}
+        redundant = sum(
+            1
+            for t in tuples
+            if tuple(t.values[column] for column in query_table.columns) in query_rows
+        )
+        novel = len(tuples) - redundant
+        assert novel >= 3          # a few genuinely new tuples ...
+        assert redundant >= 4      # ... then mostly echoes of the query.
+
+    def test_token_limit_enforced(self, query_table):
+        big_table = Table(
+            name="big", columns=query_table.columns, rows=query_table.rows * 200
+        )
+        llm = SimulatedLLM(token_limit=500)
+        with pytest.raises(LLMTokenLimitError):
+            llm.generate_tuples(big_table, 5)
+
+    def test_deterministic_per_seed(self, query_table):
+        first = SimulatedLLM(seed=5).generate_tuples(query_table, 6)
+        second = SimulatedLLM(seed=5).generate_tuples(query_table, 6)
+        assert [t.values for t in first] == [t.values for t in second]
+
+    def test_validation(self, query_table):
+        with pytest.raises(ReproError):
+            SimulatedLLM(token_limit=0)
+        with pytest.raises(ReproError):
+            SimulatedLLM(novel_fraction=2.0)
+        with pytest.raises(ReproError):
+            SimulatedLLM().generate_tuples(query_table, 0)

@@ -1,0 +1,164 @@
+"""Tests for the numpy training stack: layers, gradients and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.models import AdamOptimizer, Dropout, EmbeddingHead, Linear, Tanh
+from repro.models.trainer import cosine_embedding_loss_and_grad
+from repro.utils.errors import TrainingError
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, seed=0)
+        outputs = layer.forward(np.ones((5, 4)))
+        assert outputs.shape == (5, 3)
+
+    def test_backward_matches_numerical_gradient(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 2, seed=1)
+        inputs = rng.standard_normal((4, 3))
+        # Loss = sum(outputs); dL/doutputs = 1.
+        layer.forward(inputs)
+        layer.backward(np.ones((4, 2)))
+        epsilon = 1e-6
+        numerical = np.zeros_like(layer.weight)
+        for i in range(3):
+            for j in range(2):
+                layer.weight[i, j] += epsilon
+                plus = layer.forward(inputs).sum()
+                layer.weight[i, j] -= 2 * epsilon
+                minus = layer.forward(inputs).sum()
+                layer.weight[i, j] += epsilon
+                numerical[i, j] = (plus - minus) / (2 * epsilon)
+        assert np.allclose(layer.weight_grad, numerical, atol=1e-4)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(TrainingError):
+            Linear(2, 2).backward(np.ones((1, 2)))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(TrainingError):
+            Linear(0, 2)
+
+
+class TestActivationAndDropout:
+    def test_tanh_forward_backward(self):
+        layer = Tanh()
+        outputs = layer.forward(np.array([[0.0, 100.0]]))
+        assert outputs[0, 0] == pytest.approx(0.0)
+        assert outputs[0, 1] == pytest.approx(1.0)
+        grads = layer.backward(np.ones((1, 2)))
+        assert grads[0, 0] == pytest.approx(1.0)
+        assert grads[0, 1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_tanh_backward_before_forward(self):
+        with pytest.raises(TrainingError):
+            Tanh().backward(np.ones((1, 1)))
+
+    def test_dropout_identity_in_inference(self):
+        layer = Dropout(0.5, seed=0)
+        layer.training = False
+        inputs = np.ones((3, 4))
+        assert np.allclose(layer.forward(inputs), inputs)
+
+    def test_dropout_scales_in_training(self):
+        layer = Dropout(0.5, seed=0)
+        outputs = layer.forward(np.ones((1000, 1)))
+        # Inverted dropout preserves the expectation.
+        assert abs(outputs.mean() - 1.0) < 0.1
+        assert set(np.unique(outputs.round(4))) <= {0.0, 2.0}
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(TrainingError):
+            Dropout(1.0)
+
+
+class TestEmbeddingHead:
+    def test_forward_shape_and_parameter_count(self):
+        head = EmbeddingHead(input_dim=16, hidden_dim=8, output_dim=4, seed=0)
+        outputs = head.forward(np.ones((3, 16)))
+        assert outputs.shape == (3, 4)
+        assert head.num_parameters() == 16 * 8 + 8 + 8 * 4 + 4
+
+    def test_forward_accepts_single_vector(self):
+        head = EmbeddingHead(4, 4, 2, seed=0)
+        assert head.forward(np.ones(4)).shape == (1, 2)
+
+    def test_zero_gradients(self):
+        head = EmbeddingHead(4, 4, 2, seed=0)
+        head.forward(np.ones((2, 4)))
+        head.backward(np.ones((2, 2)))
+        assert any(np.abs(g).sum() > 0 for g in head.gradients())
+        head.zero_gradients()
+        assert all(np.abs(g).sum() == 0 for g in head.gradients())
+
+    def test_set_training_toggles_dropout(self):
+        head = EmbeddingHead(8, 8, 4, dropout_rate=0.9, seed=0)
+        head.set_training(False)
+        first = head.forward(np.ones((1, 8)))
+        second = head.forward(np.ones((1, 8)))
+        assert np.allclose(first, second)
+
+
+class TestCosineEmbeddingLoss:
+    def test_positive_pair_loss_zero_when_identical(self):
+        embeddings = np.array([[1.0, 0.0]])
+        loss, grad_first, grad_second = cosine_embedding_loss_and_grad(
+            embeddings, embeddings, np.array([1.0])
+        )
+        assert loss == pytest.approx(0.0, abs=1e-9)
+        assert np.allclose(grad_first, 0.0, atol=1e-9)
+
+    def test_negative_pair_loss_zero_when_orthogonal(self):
+        first = np.array([[1.0, 0.0]])
+        second = np.array([[0.0, 1.0]])
+        loss, _, _ = cosine_embedding_loss_and_grad(first, second, np.array([0.0]))
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_gradient_direction_reduces_loss(self):
+        rng = np.random.default_rng(3)
+        first = rng.standard_normal((6, 4))
+        second = rng.standard_normal((6, 4))
+        labels = np.array([1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+        loss, grad_first, grad_second = cosine_embedding_loss_and_grad(first, second, labels)
+        step = 0.5
+        new_loss, _, _ = cosine_embedding_loss_and_grad(
+            first - step * grad_first, second - step * grad_second, labels
+        )
+        assert new_loss < loss
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TrainingError):
+            cosine_embedding_loss_and_grad(np.ones((2, 3)), np.ones((3, 3)), np.ones(2))
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        parameter = np.array([5.0, -3.0])
+        gradient = np.zeros_like(parameter)
+        optimizer = AdamOptimizer([parameter], [gradient], learning_rate=0.1)
+        for _ in range(500):
+            gradient[...] = 2 * parameter  # d/dx of ||x||^2
+            optimizer.step()
+        assert np.abs(parameter).max() < 0.05
+        assert optimizer.steps_taken == 500
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = np.array([1.0])
+        gradient = np.zeros_like(parameter)
+        optimizer = AdamOptimizer(
+            [parameter], [gradient], learning_rate=0.05, weight_decay=1.0
+        )
+        for _ in range(100):
+            gradient[...] = 0.0
+            optimizer.step()
+        assert abs(parameter[0]) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            AdamOptimizer([np.zeros(2)], [])
+        with pytest.raises(TrainingError):
+            AdamOptimizer([np.zeros(2)], [np.zeros(3)])
+        with pytest.raises(TrainingError):
+            AdamOptimizer([np.zeros(2)], [np.zeros(2)], learning_rate=0.0)

@@ -1,0 +1,227 @@
+"""Tests for the table union search substrate (minhash, overlap, Starmie, D3L,
+SANTOS, oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import generate_ugen_benchmark
+from repro.datalake import DataLake, Table
+from repro.search import (
+    D3LSearcher,
+    MinHashLSHIndex,
+    OracleSearcher,
+    SantosSearcher,
+    StarmieSearcher,
+    ValueOverlapSearcher,
+)
+from repro.search.d3l import format_histogram
+from repro.search.minhash import MinHasher
+from repro.search.overlap import column_token_set
+from repro.utils.errors import SearchError
+
+
+@pytest.fixture(scope="module")
+def ugen_benchmark():
+    return generate_ugen_benchmark(num_queries=2, seed=9)
+
+
+@pytest.fixture(scope="module")
+def tiny_lake() -> tuple[Table, DataLake]:
+    query = Table(
+        name="query_parks",
+        columns=["Park Name", "Supervisor", "Country"],
+        rows=[
+            ("River Park", "Vera Onate", "USA"),
+            ("West Lawn Park", "Paul Veliotis", "USA"),
+            ("Hyde Park", "Jenny Rishi", "UK"),
+        ],
+    )
+    copy = Table(
+        name="parks_copy",
+        columns=["Park Name", "Supervisor", "Country"],
+        rows=[("River Park", "Vera Onate", "USA"), ("Hyde Park", "Jenny Rishi", "UK")],
+    )
+    other_parks = Table(
+        name="parks_new",
+        columns=["Park Name", "Supervised by", "Park Country"],
+        rows=[("Chippewa Park", "Tim Erickson", "USA"), ("Lawler Park", "Enrique Garcia", "USA")],
+    )
+    paintings = Table(
+        name="paintings",
+        columns=["Painting", "Medium", "Date"],
+        rows=[("Northern Lake", "Oil on canvas", 2006), ("Memory Landscape", "Mixed media", 2018)],
+    )
+    return query, DataLake([copy, other_parks, paintings], name="tiny")
+
+
+class TestMinHash:
+    def test_signature_estimates_jaccard(self):
+        hasher = MinHasher(num_hashes=256)
+        first = hasher.signature({f"token{i}" for i in range(100)})
+        second = hasher.signature({f"token{i}" for i in range(50, 150)})
+        estimate = first.jaccard(second)
+        true_jaccard = 50 / 150
+        assert abs(estimate - true_jaccard) < 0.15
+
+    def test_identical_sets_have_similarity_one(self):
+        hasher = MinHasher(num_hashes=64)
+        tokens = {"a", "b", "c"}
+        assert hasher.signature(tokens).jaccard(hasher.signature(tokens)) == 1.0
+
+    def test_signature_length_mismatch(self):
+        first = MinHasher(num_hashes=16).signature({"a"})
+        second = MinHasher(num_hashes=32).signature({"a"})
+        with pytest.raises(SearchError):
+            first.jaccard(second)
+
+    def test_lsh_index_finds_similar_sets(self):
+        index = MinHashLSHIndex(num_hashes=64, num_bands=16)
+        index.add("similar", {f"token{i}" for i in range(100)})
+        index.add("different", {f"other{i}" for i in range(100)})
+        candidates = index.query({f"token{i}" for i in range(90)})
+        assert "similar" in candidates
+        assert "different" not in candidates
+
+    def test_lsh_duplicate_key_rejected(self):
+        index = MinHashLSHIndex()
+        index.add("key", {"a"})
+        with pytest.raises(SearchError):
+            index.add("key", {"b"})
+        assert "key" in index and len(index) == 1
+
+    def test_lsh_invalid_band_configuration(self):
+        with pytest.raises(SearchError):
+            MinHashLSHIndex(num_hashes=10, num_bands=3)
+
+    def test_estimated_similarities(self):
+        index = MinHashLSHIndex(num_hashes=64, num_bands=16)
+        index.add("a", {"x", "y", "z"})
+        similarities = index.estimated_similarities({"x", "y", "z"}, candidates=["a"])
+        assert similarities["a"] == pytest.approx(1.0)
+
+
+class TestValueOverlapSearcher:
+    def test_ranks_copy_above_unrelated(self, tiny_lake):
+        query, lake = tiny_lake
+        searcher = ValueOverlapSearcher().index(lake)
+        results = searcher.search(query, k=3)
+        names = [result.table_name for result in results]
+        assert names[0] == "parks_copy"
+        assert names.index("parks_copy") < names.index("paintings")
+        assert [result.rank for result in results] == [1, 2, 3]
+
+    def test_search_excludes_query_name_and_validates_k(self, tiny_lake):
+        query, lake = tiny_lake
+        lake_with_query = DataLake(list(lake.tables()) + [query.copy()], name="with-query")
+        searcher = ValueOverlapSearcher().index(lake_with_query)
+        names = [r.table_name for r in searcher.search(query, k=10)]
+        assert query.name not in names
+        with pytest.raises(SearchError):
+            searcher.search(query, k=0)
+
+    def test_index_required_before_search(self, tiny_lake):
+        query, _ = tiny_lake
+        with pytest.raises(SearchError):
+            ValueOverlapSearcher().search(query, k=1)
+
+    def test_empty_lake_rejected(self):
+        with pytest.raises(SearchError):
+            ValueOverlapSearcher().index(DataLake([], name="empty"))
+
+    def test_column_token_set_normalises(self, tiny_lake):
+        query, _ = tiny_lake
+        tokens = column_token_set(query, "Country")
+        assert tokens == {"usa", "uk"}
+
+
+class TestStarmieSearcher:
+    def test_ranks_parks_above_paintings(self, tiny_lake):
+        query, lake = tiny_lake
+        searcher = StarmieSearcher().index(lake)
+        results = searcher.search(query, k=3)
+        names = [result.table_name for result in results]
+        assert names.index("parks_copy") < names.index("paintings")
+
+    def test_search_tuples_returns_k_alignedtuples(self, tiny_lake):
+        query, lake = tiny_lake
+        searcher = StarmieSearcher().index(lake)
+        tuples = searcher.search_tuples(query, k=3)
+        assert len(tuples) == 3
+        assert all(set(t.values) <= set(query.columns) for t in tuples)
+
+    def test_table_embedding_shape(self, tiny_lake):
+        query, lake = tiny_lake
+        searcher = StarmieSearcher().index(lake)
+        assert searcher.table_embedding(query).shape == (768,)
+
+    def test_search_tuples_validates_k(self, tiny_lake):
+        query, lake = tiny_lake
+        searcher = StarmieSearcher().index(lake)
+        with pytest.raises(SearchError):
+            searcher.search_tuples(query, k=0)
+
+
+class TestD3LSearcher:
+    def test_ranking_and_signal_weights(self, tiny_lake):
+        query, lake = tiny_lake
+        searcher = D3LSearcher().index(lake)
+        results = searcher.search(query, k=3)
+        names = [result.table_name for result in results]
+        assert names.index("parks_copy") < names.index("paintings")
+
+    def test_unknown_signal_weight_rejected(self):
+        with pytest.raises(ValueError):
+            D3LSearcher(signal_weights={"bogus": 1.0})
+
+    def test_format_histogram(self):
+        histogram = format_histogram(["123", "4.5", "2020-01-02", "hello", None])
+        assert histogram["integer"] == 1
+        assert histogram["decimal"] == 1
+        assert histogram["date"] == 1
+        assert histogram["alpha"] == 1
+
+
+class TestSantosSearcher:
+    def test_relationship_aware_ranking(self, tiny_lake):
+        query, lake = tiny_lake
+        searcher = SantosSearcher().index(lake)
+        results = searcher.search(query, k=3)
+        names = [result.table_name for result in results]
+        assert names.index("parks_copy") < names.index("paintings")
+
+    def test_invalid_column_weight(self):
+        with pytest.raises(ValueError):
+            SantosSearcher(column_weight=1.5)
+
+
+class TestOracleSearcher:
+    def test_returns_ground_truth_tables_first(self, ugen_benchmark):
+        oracle = OracleSearcher(ugen_benchmark.ground_truth).index(ugen_benchmark.lake)
+        query = ugen_benchmark.query_tables[0]
+        expected = set(ugen_benchmark.ground_truth[query.name])
+        results = oracle.search(query, k=len(expected))
+        assert {result.table_name for result in results} == expected
+        assert all(result.score > 1.0 for result in results)
+
+    def test_missing_ground_truth_table_rejected(self, ugen_benchmark):
+        oracle = OracleSearcher({"q": ["not-in-lake"]})
+        with pytest.raises(SearchError):
+            oracle.index(ugen_benchmark.lake)
+
+    def test_unionable_tables_listing(self, ugen_benchmark):
+        oracle = OracleSearcher(ugen_benchmark.ground_truth).index(ugen_benchmark.lake)
+        query_name = ugen_benchmark.query_tables[0].name
+        assert oracle.unionable_tables(query_name) == ugen_benchmark.ground_truth[query_name]
+        assert oracle.unionable_tables("unknown") == []
+
+
+class TestBenchmarkSearchQuality:
+    def test_searchers_recover_unionable_tables_on_ugen(self, ugen_benchmark):
+        """Precision@5 of each searcher should comfortably beat random."""
+        query = ugen_benchmark.query_tables[0]
+        expected = set(ugen_benchmark.ground_truth[query.name])
+        for searcher in (ValueOverlapSearcher(), D3LSearcher()):
+            searcher.index(ugen_benchmark.lake)
+            top = [r.table_name for r in searcher.search(query, k=5)]
+            precision = len(set(top) & expected) / 5
+            assert precision >= 0.6, f"{type(searcher).__name__} precision too low"
