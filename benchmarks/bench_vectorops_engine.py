@@ -1,0 +1,188 @@
+"""Diversification-stage speedup of the shared vector engine (repro.vectorops).
+
+Compares DUST's Algorithm 2 built on one :class:`~repro.vectorops.DistanceContext`
+(clustering from a precomputed BLAS-backed matrix, medoids / re-ranking /
+fallback served as cached sub-matrix views) against the seed implementation,
+which recomputed every distance matrix per stage and let scipy's ``linkage``
+re-derive pairwise distances internally.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_vectorops_engine.py
+
+The two paths must select identical tuples; the script asserts that before
+reporting any timing.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.cluster.hierarchy import fcluster, linkage as scipy_linkage
+
+from repro.cluster.distance import pairwise_distance_matrix
+from repro.core import DustConfig, DustDiversifier
+from repro.diversify.base import DiversificationRequest
+
+#: Candidate-set sizes swept (the paper's s parameter; 2 500 in Sec. 6.4.3).
+CANDIDATE_SIZES = (500, 2000, 5000)
+#: Embedding dimensionality (768 to match the paper's tuple encoders).
+DIMENSION = 768
+#: Diversification budget (paper default k = 30).
+K = 30
+#: Number of query tuples.
+NUM_QUERY = 20
+#: Timed repetitions per size (best-of to damp scheduler noise).
+REPEATS = 3
+
+
+# --------------------------------------------------------------- seed baseline
+def _seed_canonical_labels(raw_labels) -> np.ndarray:
+    mapping: dict[int, int] = {}
+    canonical = np.empty(len(raw_labels), dtype=np.int64)
+    for index, label in enumerate(raw_labels):
+        label = int(label)
+        if label not in mapping:
+            mapping[label] = len(mapping)
+        canonical[index] = mapping[label]
+    return canonical
+
+
+def _seed_prune(embeddings, table_ids, limit, metric):
+    """The seed ``prune_by_table``: per-table Python member-list loops."""
+    matrix = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+    if matrix.shape[0] <= limit:
+        return list(range(matrix.shape[0]))
+    scores = np.zeros(matrix.shape[0], dtype=np.float64)
+    table_ids = list(table_ids)
+    for table in set(table_ids):
+        member_indices = [i for i, owner in enumerate(table_ids) if owner == table]
+        members = matrix[member_indices]
+        mean_embedding = members.mean(axis=0, keepdims=True)
+        distances = pairwise_distance_matrix(members, mean_embedding, metric=metric)[:, 0]
+        for local, global_index in enumerate(member_indices):
+            scores[global_index] = distances[local]
+    order = np.lexsort((np.arange(matrix.shape[0]), -scores))
+    kept = sorted(int(index) for index in order[:limit])
+    kept.sort(key=lambda index: (-scores[index], index))
+    return kept
+
+
+def _seed_medoids(embeddings, labels, metric):
+    """The seed ``cluster_medoids``: one distance matrix per cluster."""
+    groups: dict[int, list[int]] = {}
+    for index, label in enumerate(labels):
+        groups.setdefault(int(label), []).append(index)
+    medoids = []
+    for label in sorted(groups):
+        members = groups[label]
+        if len(members) == 1:
+            medoids.append(members[0])
+            continue
+        distances = pairwise_distance_matrix(embeddings[members], metric=metric)
+        medoids.append(members[int(np.argmin(distances.sum(axis=1)))])
+    return medoids
+
+
+def _seed_rank(candidates, query, metric):
+    """The seed ``rank_candidates_against_query`` (indices only)."""
+    distances = pairwise_distance_matrix(candidates, query, metric=metric)
+    rank_scores = distances.min(axis=1)
+    tie_breaking = distances.mean(axis=1)
+    return sorted(
+        range(candidates.shape[0]),
+        key=lambda index: (-rank_scores[index], -tie_breaking[index], index),
+    )
+
+
+def seed_dust_select(query, candidates, table_ids, k, config: DustConfig):
+    """Algorithm 2 exactly as the seed implemented it: per-stage recomputation."""
+    pruned_indices = _seed_prune(candidates, table_ids, config.prune_limit, config.metric)
+    pruned = candidates[np.asarray(pruned_indices, dtype=int)]
+
+    num_clusters = min(k * config.candidate_multiplier, pruned.shape[0])
+    merge = scipy_linkage(pruned, method=config.linkage, metric=config.cluster_metric)
+    labels = _seed_canonical_labels(
+        fcluster(merge, t=num_clusters, criterion="maxclust")
+    )
+    medoid_local = _seed_medoids(pruned, labels, config.metric)
+    medoid_indices = [pruned_indices[index] for index in medoid_local]
+
+    ranked = _seed_rank(
+        candidates[np.asarray(medoid_indices, dtype=int)], query, config.metric
+    )
+    selected = [medoid_indices[index] for index in ranked[: min(k, len(medoid_indices))]]
+    if len(selected) < k:
+        chosen = set(selected)
+        for candidate in _seed_rank(pruned, query, config.metric):
+            original = pruned_indices[candidate]
+            if original not in chosen:
+                selected.append(original)
+                chosen.add(original)
+            if len(selected) == k:
+                break
+    return selected
+
+
+# ------------------------------------------------------------------- harness
+def make_workload(num_candidates: int, seed: int):
+    rng = np.random.default_rng(seed)
+    num_blobs = 25
+    centers = rng.standard_normal((num_blobs, DIMENSION)) * 3.0
+    per_blob = num_candidates // num_blobs
+    candidates = np.vstack(
+        [
+            center + 0.15 * rng.standard_normal((per_blob, DIMENSION))
+            for center in centers
+        ]
+        + [rng.standard_normal((num_candidates - per_blob * num_blobs, DIMENSION))]
+    )
+    query = centers[0] + 0.15 * rng.standard_normal((NUM_QUERY, DIMENSION))
+    table_ids = [f"table_{i % 12}" for i in range(candidates.shape[0])]
+    return query, candidates, table_ids
+
+
+def best_of(function, repeats: int = REPEATS):
+    best, result = np.inf, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> None:
+    config = DustConfig()
+    print(
+        f"DUST diversification stage, d={DIMENSION}, k={K}, "
+        f"s_prune={config.prune_limit}, linkage={config.linkage}"
+    )
+    header = f"{'s':>6} {'seed path (s)':>14} {'shared ctx (s)':>15} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for num_candidates in CANDIDATE_SIZES:
+        query, candidates, table_ids = make_workload(num_candidates, seed=num_candidates)
+
+        seed_time, seed_selection = best_of(
+            lambda: seed_dust_select(query, candidates, table_ids, K, config)
+        )
+
+        def shared_path():
+            request = DiversificationRequest(query, candidates, k=K)
+            return DustDiversifier(config).select(request, table_ids=table_ids)
+
+        shared_time, shared_selection = best_of(shared_path)
+
+        assert shared_selection == seed_selection, (
+            f"selection drift at s={num_candidates}: "
+            f"{shared_selection[:5]} vs {seed_selection[:5]}"
+        )
+        print(
+            f"{num_candidates:>6} {seed_time:>14.3f} {shared_time:>15.3f} "
+            f"{seed_time / shared_time:>7.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

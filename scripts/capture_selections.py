@@ -1,0 +1,110 @@
+"""Capture diversification selections on fixed fixtures for refactor parity checks.
+
+Run with the seed code to produce a baseline JSON, then again after the
+refactor with --check to assert the selections are unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+
+from repro import DustPipeline, PipelineConfig
+from repro.benchgen import generate_ugen_benchmark
+from repro.core import DustConfig, DustDiversifier
+from repro.core.pruning import prune_by_table
+from repro.diversify import (
+    CLTDiversifier,
+    DiversificationRequest,
+    GMCDiversifier,
+    GNEDiversifier,
+    MaxMinDiversifier,
+    MaxSumDiversifier,
+    RandomDiversifier,
+    SwapDiversifier,
+)
+from repro.embeddings import CellLevelColumnEncoder, FastTextLikeModel, GloveLikeModel
+from repro.search import ValueOverlapSearcher
+
+OUT = "scripts/baseline_selections.json"
+
+
+def diversifier_selections() -> dict:
+    out = {}
+    for seed in range(12):
+        rng = np.random.default_rng(seed)
+        n_clusters = 4 + seed % 4
+        centers = rng.standard_normal((n_clusters, 16)) * 4
+        candidates = np.vstack(
+            [center + 0.05 * rng.standard_normal((20, 16)) for center in centers]
+        )
+        query = centers[0] + 0.05 * rng.standard_normal((4, 16))
+        table_ids = [f"t{i // 10}" for i in range(candidates.shape[0])]
+        k = 5 + seed % 3
+        methods = {
+            "gmc": GMCDiversifier(),
+            "gne": GNEDiversifier(iterations=2, max_swaps=40, seed=seed),
+            "clt": CLTDiversifier(),
+            "swap": SwapDiversifier(),
+            "maxmin": MaxMinDiversifier(),
+            "maxsum": MaxSumDiversifier(),
+            "random": RandomDiversifier(seed=seed),
+        }
+        for name, method in methods.items():
+            request = DiversificationRequest(query, candidates, k=k)
+            out[f"{name}/{seed}"] = method.select(request)
+        dust_request = DiversificationRequest(query, candidates, k=k)
+        out[f"dust/{seed}"] = DustDiversifier(
+            DustConfig(prune_limit=60)
+        ).select(dust_request, table_ids=table_ids)
+        out[f"prune/{seed}"] = prune_by_table(
+            candidates, table_ids, limit=25, metric="cosine"
+        )
+    return out
+
+
+def pipeline_selections() -> dict:
+    bench = generate_ugen_benchmark(num_queries=2, seed=17)
+    pipeline = DustPipeline(
+        searcher=ValueOverlapSearcher(),
+        column_encoder=CellLevelColumnEncoder(FastTextLikeModel()),
+        tuple_encoder=GloveLikeModel(dimension=128),
+        config=PipelineConfig(k=12, num_search_tables=6, dust=DustConfig(prune_limit=500)),
+    ).index(bench.lake)
+    out = {}
+    for query in bench.query_tables:
+        result = pipeline.run(query)
+        out[f"pipeline/{query.name}"] = [
+            [t.source_table, t.source_row] for t in result.selected_tuples
+        ]
+        out[f"pipeline_emb/{query.name}"] = [
+            float(x) for x in np.asarray(result.selected_embeddings).sum(axis=1)
+        ]
+    return out
+
+
+def main() -> None:
+    captured = {**diversifier_selections(), **pipeline_selections()}
+    if "--check" in sys.argv:
+        with open(OUT) as handle:
+            baseline = json.load(handle)
+        mismatches = []
+        for key, expected in baseline.items():
+            if captured.get(key) != expected:
+                mismatches.append(key)
+        if mismatches:
+            print(f"MISMATCH in {len(mismatches)} entries:")
+            for key in mismatches:
+                print(f"  {key}: baseline={baseline[key]} now={captured.get(key)}")
+            sys.exit(1)
+        print(f"OK: {len(baseline)} selection sets identical to the seed baseline")
+    else:
+        with open(OUT, "w") as handle:
+            json.dump(captured, handle, indent=1)
+        print(f"captured {len(captured)} selection sets -> {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,11 @@ The public API is organised by subsystem:
 
 * :mod:`repro.core` — the DUST pipeline (Algorithm 1), the DUST diversifier
   (Algorithm 2) and the diversity metrics (Eq. 1 / Eq. 2).
+* :mod:`repro.vectorops` — the shared vector engine: dtype-controlled
+  embedding matrices (:class:`~repro.vectorops.EmbeddingMatrix`) and the
+  lazily-cached per-query distance matrices
+  (:class:`~repro.vectorops.DistanceContext`) that every stage of Algorithm 2
+  and every diversification baseline draw their distances from.
 * :mod:`repro.datalake` — tables, data lakes and CSV I/O.
 * :mod:`repro.search` — table union search techniques (overlap, Starmie-like,
   D3L-like, SANTOS-like, ground-truth oracle).
@@ -33,10 +38,13 @@ from repro.core import (
     min_diversity,
 )
 from repro.datalake import DataLake, Table
+from repro.vectorops import DistanceContext, EmbeddingMatrix
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "DistanceContext",
+    "EmbeddingMatrix",
     "DustConfig",
     "DustDiversifier",
     "DustPipeline",

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 from scipy.cluster.hierarchy import fcluster, linkage as scipy_linkage
+from scipy.spatial.distance import squareform
 
 from repro.cluster.distance import pairwise_distance_matrix
 from repro.utils.errors import ConfigurationError
@@ -91,6 +92,7 @@ class AgglomerativeClustering:
         embeddings: np.ndarray,
         *,
         constraint_groups: Sequence[object] | None = None,
+        precomputed_distances: np.ndarray | None = None,
     ) -> "AgglomerativeClustering":
         """Build the merge history for ``embeddings``.
 
@@ -102,6 +104,21 @@ class AgglomerativeClustering:
             Optional per-item group labels; two items sharing a label can
             never end up in the same cluster (cannot-link constraint).  Column
             alignment passes the owning table name of each column.
+        precomputed_distances:
+            Optional ``(n, n)`` pairwise distance matrix under ``self.metric``
+            (typically a :meth:`~repro.vectorops.DistanceContext.within` view).
+            When given, neither path recomputes distances: the scipy path
+            condenses the matrix instead of running ``pdist``, and the
+            constrained path consumes it directly.  Note the library kernels
+            differ from scipy's ``pdist`` in two deliberate ways: cosine
+            distances of zero vectors are 1.0 instead of NaN (``pdist`` makes
+            ``linkage`` raise on such inputs), and the BLAS-backed euclidean
+            kernel computes ``sqrt(|x|² + |y|² - 2x·y)``, whose cancellation
+            error makes distances below ~``1e-7 * row_norm`` unreliable.  In
+            practice this only reorders merges among near-duplicate rows
+            (whose merge order is arbitrary anyway); pass a ``cdist``-exact
+            matrix instead if ``pdist``-identical dendrograms matter more
+            than the BLAS speedup.
         """
         matrix = np.asarray(embeddings, dtype=np.float64)
         if matrix.ndim != 2:
@@ -116,6 +133,14 @@ class AgglomerativeClustering:
                 f"constraint_groups has {len(constraint_groups)} entries for "
                 f"{self._num_items} items"
             )
+        if precomputed_distances is not None and precomputed_distances.shape != (
+            self._num_items,
+            self._num_items,
+        ):
+            raise ConfigurationError(
+                f"precomputed_distances has shape {precomputed_distances.shape} "
+                f"for {self._num_items} items"
+            )
 
         self._merges = []
         self._scipy_linkage = None
@@ -125,19 +150,34 @@ class AgglomerativeClustering:
             return self
 
         if constraint_groups is None:
-            scipy_metric = "cityblock" if self.metric == "manhattan" else self.metric
-            self._scipy_linkage = scipy_linkage(
-                matrix, method=self.linkage, metric=scipy_metric
-            )
+            if precomputed_distances is not None:
+                condensed = squareform(precomputed_distances, checks=False)
+                self._scipy_linkage = scipy_linkage(condensed, method=self.linkage)
+            else:
+                scipy_metric = "cityblock" if self.metric == "manhattan" else self.metric
+                self._scipy_linkage = scipy_linkage(
+                    matrix, method=self.linkage, metric=scipy_metric
+                )
             return self
 
-        self._fit_constrained(matrix, list(constraint_groups))
+        self._fit_constrained(
+            matrix, list(constraint_groups), precomputed=precomputed_distances
+        )
         return self
 
     # -------------------------------------------------------- constrained path
-    def _fit_constrained(self, matrix: np.ndarray, groups: list[object]) -> None:
+    def _fit_constrained(
+        self,
+        matrix: np.ndarray,
+        groups: list[object],
+        *,
+        precomputed: np.ndarray | None = None,
+    ) -> None:
         n = matrix.shape[0]
-        distances = pairwise_distance_matrix(matrix, metric=self.metric)
+        if precomputed is not None:
+            distances = precomputed
+        else:
+            distances = pairwise_distance_matrix(matrix, metric=self.metric)
 
         # active[i] is True while cluster id i still exists; clusters 0..n-1 are
         # singletons, new clusters get ids n, n+1, ... (scipy convention).
@@ -269,7 +309,12 @@ class AgglomerativeClustering:
         num_clusters: int,
         *,
         constraint_groups: Sequence[object] | None = None,
+        precomputed_distances: np.ndarray | None = None,
     ) -> ClusteringResult:
         """Convenience: fit and cut in a single call."""
-        self.fit(embeddings, constraint_groups=constraint_groups)
+        self.fit(
+            embeddings,
+            constraint_groups=constraint_groups,
+            precomputed_distances=precomputed_distances,
+        )
         return self.labels_for(num_clusters)

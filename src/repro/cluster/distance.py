@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
+from scipy.spatial.distance import cdist
 
 #: Signature shared by all pairwise distance functions on single vectors.
 DistanceFunction = Callable[[np.ndarray, np.ndarray], float]
@@ -44,25 +45,56 @@ def cosine_distance(first: np.ndarray, second: np.ndarray) -> float:
 
 
 def cosine_distance_matrix(first: np.ndarray, second: np.ndarray | None = None) -> np.ndarray:
-    """Pairwise cosine distance matrix between the rows of two matrices."""
+    """Pairwise cosine distance matrix between the rows of two matrices.
+
+    Normalises the rows and delegates to
+    :func:`cosine_distance_matrix_from_unit`, which holds the single
+    implementation of the clipping / zero-vector / diagonal semantics.
+    """
     left = _as_2d(first)
-    right = left if second is None else _as_2d(second)
     left_norms = np.linalg.norm(left, axis=1, keepdims=True)
-    right_norms = np.linalg.norm(right, axis=1, keepdims=True)
     safe_left = np.where(left_norms == 0.0, 1.0, left_norms)
+    left_zero = (left_norms == 0.0).ravel()
+    if second is None:
+        return cosine_distance_matrix_from_unit(left / safe_left, left_zero=left_zero)
+    right = _as_2d(second)
+    right_norms = np.linalg.norm(right, axis=1, keepdims=True)
     safe_right = np.where(right_norms == 0.0, 1.0, right_norms)
-    similarity = (left / safe_left) @ (right / safe_right).T
+    return cosine_distance_matrix_from_unit(
+        left / safe_left,
+        right / safe_right,
+        left_zero=left_zero,
+        right_zero=(right_norms == 0.0).ravel(),
+    )
+
+
+def cosine_distance_matrix_from_unit(
+    left_unit: np.ndarray,
+    right_unit: np.ndarray | None = None,
+    *,
+    left_zero: np.ndarray | None = None,
+    right_zero: np.ndarray | None = None,
+) -> np.ndarray:
+    """Cosine distance matrix from rows that are already unit-normalised.
+
+    ``left_zero`` / ``right_zero`` are boolean masks of originally-zero rows
+    (which stay all-zero after normalisation).  Given the normalisation that
+    :func:`cosine_distance_matrix` performs internally, this produces the
+    identical matrix — callers that normalise once (such as
+    :class:`~repro.vectorops.EmbeddingMatrix`) skip the per-call norm
+    computation.
+    """
+    right = left_unit if right_unit is None else right_unit
+    similarity = left_unit @ right.T
     similarity = np.clip(similarity, -1.0, 1.0)
     distances = 1.0 - similarity
-    # Zero vectors: force distance 1 to everything (and 0 to themselves when
-    # comparing a matrix with itself on the diagonal).
-    zero_left = (left_norms == 0.0).ravel()
-    zero_right = (right_norms == 0.0).ravel()
-    if zero_left.any():
-        distances[zero_left, :] = 1.0
-    if zero_right.any():
-        distances[:, zero_right] = 1.0
-    if second is None:
+    if right_unit is None:
+        right_zero = left_zero
+    if left_zero is not None and left_zero.any():
+        distances[left_zero, :] = 1.0
+    if right_zero is not None and right_zero.any():
+        distances[:, right_zero] = 1.0
+    if right_unit is None:
         np.fill_diagonal(distances, 0.0)
     return distances
 
@@ -76,14 +108,23 @@ def euclidean_distance(first: np.ndarray, second: np.ndarray) -> float:
 
 
 def euclidean_distance_matrix(first: np.ndarray, second: np.ndarray | None = None) -> np.ndarray:
-    """Pairwise Euclidean distance matrix."""
+    """Pairwise Euclidean distance matrix (BLAS Gram trick, in-place finish).
+
+    The element-wise operations run in place on two buffers (the broadcast
+    norm sum and the Gram matrix) so no extra ``(n, m)`` temporaries are
+    allocated; the association order matches the naive
+    ``left_sq + right_sq - 2 * gram`` expression bit for bit.
+    """
     left = _as_2d(first)
     right = left if second is None else _as_2d(second)
     left_sq = np.sum(left**2, axis=1)[:, None]
     right_sq = np.sum(right**2, axis=1)[None, :]
-    squared = left_sq + right_sq - 2.0 * (left @ right.T)
-    squared = np.maximum(squared, 0.0)
-    distances = np.sqrt(squared)
+    gram = left @ right.T
+    gram *= 2.0
+    squared = left_sq + right_sq
+    squared -= gram
+    np.maximum(squared, 0.0, out=squared)
+    distances = np.sqrt(squared, out=squared)
     if second is None:
         np.fill_diagonal(distances, 0.0)
     return distances
@@ -98,12 +139,10 @@ def manhattan_distance(first: np.ndarray, second: np.ndarray) -> float:
 
 
 def manhattan_distance_matrix(first: np.ndarray, second: np.ndarray | None = None) -> np.ndarray:
-    """Pairwise Manhattan distance matrix (loops over the smaller side)."""
+    """Pairwise Manhattan distance matrix (cdist-backed, no Python loop)."""
     left = _as_2d(first)
     right = left if second is None else _as_2d(second)
-    distances = np.zeros((left.shape[0], right.shape[0]), dtype=np.float64)
-    for i in range(left.shape[0]):
-        distances[i, :] = np.sum(np.abs(right - left[i]), axis=1)
+    distances = cdist(left, right, "cityblock")
     if second is None:
         np.fill_diagonal(distances, 0.0)
     return distances

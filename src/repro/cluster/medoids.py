@@ -28,20 +28,28 @@ def medoid_index(
     member_indices: Sequence[int],
     *,
     metric: str = "cosine",
+    distances: np.ndarray | None = None,
 ) -> int:
     """Return the index (into ``embeddings``) of the medoid of ``member_indices``.
 
     The medoid is the member minimising the sum of distances to all other
     members; ties are broken by the smaller index so the result is
-    deterministic.
+    deterministic.  When ``distances`` (the full pairwise matrix over all
+    items) is supplied, the member sub-matrix is a view of it and no distance
+    is recomputed.
     """
     if not member_indices:
         raise ConfigurationError("medoid_index called with an empty member list")
     if len(member_indices) == 1:
         return int(member_indices[0])
-    members = np.asarray(embeddings, dtype=np.float64)[list(member_indices)]
-    distances = pairwise_distance_matrix(members, metric=metric)
-    totals = distances.sum(axis=1)
+    members = list(member_indices)
+    if distances is not None:
+        sub = distances[np.ix_(members, members)]
+    else:
+        sub = pairwise_distance_matrix(
+            np.asarray(embeddings, dtype=np.float64)[members], metric=metric
+        )
+    totals = sub.sum(axis=1)
     best_local = int(np.argmin(totals))
     return int(member_indices[best_local])
 
@@ -51,8 +59,14 @@ def cluster_medoids(
     labels: Sequence[int] | np.ndarray,
     *,
     metric: str = "cosine",
+    distances: np.ndarray | None = None,
 ) -> list[int]:
-    """Return one medoid index per cluster, ordered by cluster label."""
+    """Return one medoid index per cluster, ordered by cluster label.
+
+    ``distances`` optionally supplies the precomputed pairwise matrix over all
+    items (e.g. a :meth:`~repro.vectorops.DistanceContext.within` view) so the
+    per-cluster sub-matrices are served from cache.
+    """
     matrix = np.asarray(embeddings, dtype=np.float64)
     if matrix.ndim != 2:
         raise ConfigurationError(f"embeddings must be 2-D, got shape {matrix.shape}")
@@ -60,7 +74,11 @@ def cluster_medoids(
         raise ConfigurationError(
             f"{len(labels)} labels for {matrix.shape[0]} embeddings"
         )
+    if distances is not None and distances.shape != (matrix.shape[0], matrix.shape[0]):
+        raise ConfigurationError(
+            f"distances has shape {distances.shape} for {matrix.shape[0]} embeddings"
+        )
     return [
-        medoid_index(matrix, members, metric=metric)
+        medoid_index(matrix, members, metric=metric, distances=distances)
         for members in cluster_members(labels).values()
     ]

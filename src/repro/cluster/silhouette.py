@@ -20,12 +20,15 @@ def silhouette_score(
     labels: Sequence[int] | np.ndarray,
     *,
     metric: str = "euclidean",
+    distances: np.ndarray | None = None,
 ) -> float:
     """Mean silhouette coefficient of a clustering.
 
     Singleton clusters contribute a silhouette of 0 (the standard convention).
     A clustering with a single cluster or with every item in its own cluster
-    is scored 0, since the coefficient is undefined there.
+    is scored 0, since the coefficient is undefined there.  ``distances``
+    optionally supplies the precomputed pairwise matrix under ``metric`` so
+    repeated scoring of candidate cuts reuses one computation.
     """
     matrix = np.asarray(embeddings, dtype=np.float64)
     label_array = np.asarray(labels, dtype=np.int64)
@@ -40,7 +43,12 @@ def silhouette_score(
     if len(unique) < 2 or len(unique) >= n:
         return 0.0
 
-    distances = pairwise_distance_matrix(matrix, metric=metric)
+    if distances is None:
+        distances = pairwise_distance_matrix(matrix, metric=metric)
+    elif distances.shape != (n, n):
+        raise ConfigurationError(
+            f"distances has shape {distances.shape} for {n} embeddings"
+        )
     scores = np.zeros(n, dtype=np.float64)
     members_by_label = {int(label): np.flatnonzero(label_array == label) for label in unique}
 
@@ -91,11 +99,15 @@ def best_num_clusters(
     n = matrix.shape[0]
     best_count, best_score = 1, -np.inf
     evaluated = False
+    distances: np.ndarray | None = None
     for candidate in sorted(set(int(c) for c in candidates)):
         if candidate < 2 or candidate > n:
             continue
+        if distances is None:
+            # One matrix shared by every candidate cut instead of one per cut.
+            distances = pairwise_distance_matrix(matrix, metric=metric)
         labels = labels_for(candidate)
-        score = silhouette_score(matrix, labels, metric=metric)
+        score = silhouette_score(matrix, labels, metric=metric, distances=distances)
         evaluated = True
         if score > best_score:
             best_count, best_score = candidate, score

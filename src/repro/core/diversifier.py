@@ -25,6 +25,7 @@ from repro.core.config import DustConfig
 from repro.core.pruning import prune_by_table
 from repro.core.reranking import rank_candidates_against_query, top_k_candidates
 from repro.diversify.base import DiversificationRequest, Diversifier
+from repro.vectorops import DistanceContext
 
 
 @dataclass
@@ -57,13 +58,33 @@ class DustDiversifier(Diversifier):
         ids = list(table_ids) if table_ids is not None else [0] * embeddings.shape[0]
         return prune_by_table(embeddings, ids, limit, metric=self.config.metric)
 
-    def _cluster_candidates(self, embeddings: np.ndarray, k: int) -> list[int]:
+    def _cluster_candidates(
+        self, context: DistanceContext, k: int
+    ) -> list[int]:
+        embeddings = context.candidates.data
         num_clusters = min(k * self.config.candidate_multiplier, embeddings.shape[0])
         clustering = AgglomerativeClustering(
             linkage=self.config.linkage, metric=self.config.cluster_metric
         )
-        result = clustering.cluster(embeddings, num_clusters)
-        return cluster_medoids(embeddings, result.labels, metric=self.config.metric)
+        result = clustering.cluster(
+            embeddings,
+            num_clusters,
+            precomputed_distances=context.candidate_distances(self.config.cluster_metric),
+        )
+        # Serve medoids from the cached square when the metrics coincide;
+        # otherwise the per-cluster sub-matrices are cheaper than a second
+        # full square (cluster sizes are ~s/(k*p)).
+        medoid_distances = (
+            context.candidate_distances(self.config.metric)
+            if context.is_cached(self.config.metric)
+            else None
+        )
+        return cluster_medoids(
+            embeddings,
+            result.labels,
+            metric=self.config.metric,
+            distances=medoid_distances,
+        )
 
     # ------------------------------------------------------------------ select
     def select(
@@ -77,6 +98,11 @@ class DustDiversifier(Diversifier):
         ``table_ids`` optionally identifies the source table of each candidate
         so the pruning step can compute per-table mean embeddings; without it
         all candidates are treated as one table.
+
+        Every distance used after pruning — clustering, medoid extraction,
+        re-ranking and the k-shortfall fallback — is served by one
+        :class:`~repro.vectorops.DistanceContext` narrowed to the pruned
+        candidate set, so each block is computed exactly once per metric.
         """
         candidates = request.candidate_embeddings
         trace = DustSelectionTrace()
@@ -84,11 +110,19 @@ class DustDiversifier(Diversifier):
         # Step 1: prune (Algorithm 2, line 2).
         pruned_indices = self._prune(candidates, table_ids)
         trace.pruned_indices = pruned_indices
-        pruned = candidates[np.asarray(pruned_indices, dtype=int)]
+        context = request.distance_context()
+        if pruned_indices == list(range(candidates.shape[0])):
+            # Pruning kept everything in order: work on the request's own
+            # context so the matrices it materialises stay shared (e.g. with
+            # DustResult.diversity() and other methods on the same request).
+            pruned_context = context
+        else:
+            pruned_context = context.subset(pruned_indices)
+        pruned = pruned_context.candidates.data
 
         # Step 2: cluster into k*p clusters and keep each cluster's medoid
         # (Algorithm 2, line 4).
-        medoid_local = self._cluster_candidates(pruned, request.k)
+        medoid_local = self._cluster_candidates(pruned_context, request.k)
         medoid_indices = [pruned_indices[index] for index in medoid_local]
         trace.medoid_indices = medoid_indices
 
@@ -96,7 +130,10 @@ class DustDiversifier(Diversifier):
         # (Algorithm 2, lines 6-13).
         medoid_embeddings = candidates[np.asarray(medoid_indices, dtype=int)]
         ranked = rank_candidates_against_query(
-            medoid_embeddings, request.query_embeddings, metric=request.metric
+            medoid_embeddings,
+            request.query_embeddings,
+            metric=request.metric,
+            distances=pruned_context.to_query(medoid_local, metric=request.metric),
         )
         selected_local = top_k_candidates(ranked, min(request.k, len(medoid_indices)))
         selected = [medoid_indices[index] for index in selected_local]
@@ -107,7 +144,10 @@ class DustDiversifier(Diversifier):
         if len(selected) < request.k:
             chosen = set(selected)
             fallback_ranked = rank_candidates_against_query(
-                pruned, request.query_embeddings, metric=request.metric
+                pruned,
+                request.query_embeddings,
+                metric=request.metric,
+                distances=pruned_context.to_query(metric=request.metric),
             )
             for candidate in fallback_ranked:
                 original = pruned_indices[candidate.candidate_index]

@@ -11,10 +11,15 @@ query tuples:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 import numpy as np
 
 from repro.cluster.distance import pairwise_distance_matrix
 from repro.utils.errors import DiversificationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.vectorops import DistanceContext
 
 
 def _validate(query_embeddings: np.ndarray, selected_embeddings: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -32,26 +37,56 @@ def _validate(query_embeddings: np.ndarray, selected_embeddings: np.ndarray) -> 
     return query, selected
 
 
+def _metric_blocks(
+    query: np.ndarray,
+    selected: np.ndarray,
+    metric: str,
+    context: "DistanceContext | None",
+    selected_indices: Sequence[int] | np.ndarray | None,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Query↔selected and selected↔selected distance blocks.
+
+    Served from ``context`` (cached) when one is supplied together with the
+    candidate indices of the selection; recomputed from the embeddings
+    otherwise.
+    """
+    n, k = query.shape[0], selected.shape[0]
+    if context is not None and selected_indices is not None:
+        rows = np.asarray(selected_indices, dtype=int)
+        if len(rows) != k:
+            raise DiversificationError(
+                f"{len(rows)} selected indices for {k} selected embeddings"
+            )
+        to_query = context.to_query(rows, metric=metric).T if n > 0 else None
+        within = context.within(rows, metric=metric) if k > 1 else None
+        return to_query, within
+    to_query = pairwise_distance_matrix(query, selected, metric=metric) if n > 0 else None
+    within = pairwise_distance_matrix(selected, metric=metric) if k > 1 else None
+    return to_query, within
+
+
 def average_diversity(
     query_embeddings: np.ndarray,
     selected_embeddings: np.ndarray,
     *,
     metric: str = "cosine",
+    context: "DistanceContext | None" = None,
+    selected_indices: Sequence[int] | np.ndarray | None = None,
 ) -> float:
     """Average Diversity (Eq. 1) of a selected set against the query tuples.
 
     The numerator sums every query↔selected distance and every unordered
     selected↔selected distance; the denominator is ``n + k`` as in the paper.
+    Pass ``context`` plus ``selected_indices`` to serve both distance blocks
+    from a shared :class:`~repro.vectorops.DistanceContext` cache.
     """
     query, selected = _validate(query_embeddings, selected_embeddings)
     n, k = query.shape[0], selected.shape[0]
+    to_query, within = _metric_blocks(query, selected, metric, context, selected_indices)
     total = 0.0
-    if n > 0:
-        total += float(
-            pairwise_distance_matrix(query, selected, metric=metric).sum()
-        )
-    if k > 1:
-        within = pairwise_distance_matrix(selected, metric=metric)
+    if to_query is not None:
+        total += float(to_query.sum())
+    if within is not None:
         total += float(np.triu(within, k=1).sum())
     return total / (n + k)
 
@@ -61,16 +96,16 @@ def min_diversity(
     selected_embeddings: np.ndarray,
     *,
     metric: str = "cosine",
+    context: "DistanceContext | None" = None,
+    selected_indices: Sequence[int] | np.ndarray | None = None,
 ) -> float:
     """Min Diversity (Eq. 2): the smallest query↔selected / selected↔selected distance."""
     query, selected = _validate(query_embeddings, selected_embeddings)
+    to_query, within = _metric_blocks(query, selected, metric, context, selected_indices)
     candidates: list[float] = []
-    if query.shape[0] > 0:
-        candidates.append(
-            float(pairwise_distance_matrix(query, selected, metric=metric).min())
-        )
-    if selected.shape[0] > 1:
-        within = pairwise_distance_matrix(selected, metric=metric)
+    if to_query is not None:
+        candidates.append(float(to_query.min()))
+    if within is not None:
         upper = within[np.triu_indices(selected.shape[0], k=1)]
         candidates.append(float(upper.min()))
     if not candidates:
@@ -85,13 +120,23 @@ def diversity_scores(
     selected_embeddings: np.ndarray,
     *,
     metric: str = "cosine",
+    context: "DistanceContext | None" = None,
+    selected_indices: Sequence[int] | np.ndarray | None = None,
 ) -> dict[str, float]:
     """Both metrics in one call (used by the evaluation harness)."""
     return {
         "average_diversity": average_diversity(
-            query_embeddings, selected_embeddings, metric=metric
+            query_embeddings,
+            selected_embeddings,
+            metric=metric,
+            context=context,
+            selected_indices=selected_indices,
         ),
         "min_diversity": min_diversity(
-            query_embeddings, selected_embeddings, metric=metric
+            query_embeddings,
+            selected_embeddings,
+            metric=metric,
+            context=context,
+            selected_indices=selected_indices,
         ),
     }

@@ -16,6 +16,7 @@ Given a query table, a data lake and a budget ``k``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.embeddings.serialization import AlignedTuple, serialize_aligned_tuple
 from repro.search.base import SearchResult, TableUnionSearcher
 from repro.utils.errors import ConfigurationError, DataLakeError
 from repro.utils.timing import Timer
+from repro.vectorops import DistanceContext
 
 
 @dataclass
@@ -43,10 +45,14 @@ class DustResult:
     search_results: list[SearchResult] = field(default_factory=list)
     alignment: ColumnAlignment | None = None
     selected_tuples: list[AlignedTuple] = field(default_factory=list)
+    selected_indices: list[int] = field(default_factory=list)
     selected_embeddings: np.ndarray | None = None
     query_embeddings: np.ndarray | None = None
     num_candidate_tuples: int = 0
     timings: dict[str, float] = field(default_factory=dict)
+    #: The per-run distance cache; kept so post-hoc analyses (``diversity()``,
+    #: re-ranking sweeps) reuse the matrices computed during the run.
+    distance_context: DistanceContext | None = field(default=None, repr=False)
 
     def as_table(self, query_table: Table, *, name: str | None = None) -> Table:
         """Materialise the selected tuples as a table over the query schema."""
@@ -58,11 +64,20 @@ class DustResult:
         )
 
     def diversity(self, *, metric: str = "cosine") -> dict[str, float]:
-        """Average / Min Diversity of the selected tuples against the query."""
+        """Average / Min Diversity of the selected tuples against the query.
+
+        Served through the run's :class:`~repro.vectorops.DistanceContext`:
+        blocks the run materialised are reused, anything else is computed as
+        a narrow block over just the selected rows.
+        """
         if self.selected_embeddings is None or self.query_embeddings is None:
             raise ConfigurationError("diversity() called on an incomplete DustResult")
         return diversity_scores(
-            self.query_embeddings, self.selected_embeddings, metric=metric
+            self.query_embeddings,
+            self.selected_embeddings,
+            metric=metric,
+            context=self.distance_context,
+            selected_indices=self.selected_indices if self.selected_indices else None,
         )
 
 
@@ -91,8 +106,21 @@ class DustPipeline:
         self.searcher.index(lake)
         return self
 
-    def run(self, query_table: Table, *, k: int | None = None) -> DustResult:
-        """Run Algorithm 1 for ``query_table`` and return ``k`` diverse tuples."""
+    def run(
+        self,
+        query_table: Table,
+        *,
+        k: int | None = None,
+        keep_distance_context: bool = True,
+    ) -> DustResult:
+        """Run Algorithm 1 for ``query_table`` and return ``k`` diverse tuples.
+
+        ``keep_distance_context`` controls whether the run's cached distance
+        matrices (up to O(s²) floats) stay on the result for post-hoc
+        analyses; :meth:`run_many` turns it off so multi-query workloads
+        don't accumulate one square matrix per retained result
+        (``DustResult.diversity()`` works either way).
+        """
         config = self.config
         k = k if k is not None else config.k
         if k <= 0:
@@ -145,22 +173,54 @@ class DustPipeline:
             candidate_embeddings = self.tuple_encoder.encode_many(candidate_texts)
         result.timings["embedding"] = timer.laps[-1]
 
-        # Step 4: diversification (Algorithm 1, line 8 / Algorithm 2).
+        # Step 4: diversification (Algorithm 1, line 8 / Algorithm 2).  One
+        # DistanceContext per run serves every stage of Algorithm 2 and stays
+        # on the result for post-hoc metrics.
         with timer.measure():
             effective_k = min(k, len(candidates))
+            result.distance_context = DistanceContext(
+                result.query_embeddings,
+                candidate_embeddings,
+                metric=self.config.dust.metric,
+            )
             request = DiversificationRequest(
                 query_embeddings=result.query_embeddings,
                 candidate_embeddings=candidate_embeddings,
                 k=effective_k,
                 metric=self.config.dust.metric,
+                context=result.distance_context,
             )
             table_ids = [candidate.source_table for candidate in candidates]
             selected_indices = self.diversifier.select(request, table_ids=table_ids)
         result.timings["diversification"] = timer.laps[-1]
 
+        result.selected_indices = [int(index) for index in selected_indices]
         result.selected_tuples = [candidates[index] for index in selected_indices]
         result.selected_embeddings = candidate_embeddings[
             np.asarray(selected_indices, dtype=int)
         ]
         result.timings["total"] = sum(result.timings.values())
+        if not keep_distance_context:
+            result.distance_context = None
         return result
+
+    def run_many(
+        self, query_tables: Sequence[Table], *, k: int | None = None
+    ) -> list[DustResult]:
+        """Run Algorithm 1 for several query tables against one indexed lake.
+
+        The searcher's lake-side index is built once (by :meth:`index`) and
+        reused across queries; each query gets its own
+        :class:`~repro.vectorops.DistanceContext` exactly as :meth:`run`
+        creates it, so multi-query workloads pay the lake indexing cost once
+        and the per-query distance cost once.  The per-query contexts are
+        released after each run so retained results stay small.
+        """
+        if not self.searcher.is_indexed:
+            raise ConfigurationError(
+                "run_many() called before index(); call pipeline.index(lake) first"
+            )
+        return [
+            self.run(query_table, k=k, keep_distance_context=False)
+            for query_table in query_tables
+        ]

@@ -54,15 +54,32 @@ def prune_by_table(
     if matrix.shape[0] <= limit:
         return list(range(matrix.shape[0]))
 
+    # Group rows by table via np.unique instead of per-table Python member
+    # scans; each group's mean and member-to-mean distances are computed with
+    # one vectorised kernel call.
     scores = np.zeros(matrix.shape[0], dtype=np.float64)
-    table_ids = list(table_ids)
-    for table in set(table_ids):
-        member_indices = [i for i, owner in enumerate(table_ids) if owner == table]
+    # Heterogeneous id types must not be coerced to one numpy dtype (that
+    # would merge e.g. 1 and "1"); only a homogeneous typed array takes the
+    # np.unique fast path, everything else groups via one dict pass.
+    homogeneous = len({type(owner) for owner in table_ids}) == 1
+    ids_array = np.asarray(list(table_ids)) if homogeneous else None
+    if ids_array is not None and ids_array.ndim == 1 and ids_array.dtype != object:
+        _, inverse = np.unique(ids_array, return_inverse=True)
+        inverse = inverse.ravel()
+    else:
+        mapping: dict[object, int] = {}
+        inverse = np.fromiter(
+            (mapping.setdefault(owner, len(mapping)) for owner in table_ids),
+            dtype=np.int64,
+            count=matrix.shape[0],
+        )
+    for group in range(int(inverse.max()) + 1):
+        member_indices = np.flatnonzero(inverse == group)
         members = matrix[member_indices]
         mean_embedding = members.mean(axis=0, keepdims=True)
-        distances = pairwise_distance_matrix(members, mean_embedding, metric=metric)[:, 0]
-        for local, global_index in enumerate(member_indices):
-            scores[global_index] = distances[local]
+        scores[member_indices] = pairwise_distance_matrix(
+            members, mean_embedding, metric=metric
+        )[:, 0]
 
     order = np.lexsort((np.arange(matrix.shape[0]), -scores))
     kept = sorted(int(index) for index in order[:limit])

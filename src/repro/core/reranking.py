@@ -31,12 +31,16 @@ def rank_candidates_against_query(
     query_embeddings: np.ndarray,
     *,
     metric: str = "cosine",
+    distances: np.ndarray | None = None,
 ) -> list[RankedCandidate]:
     """Rank candidates by min distance to the query (avg distance breaks ties).
 
     When there are no query tuples, every candidate gets rank score 0 and the
     original order is preserved — the caller then relies purely on the
-    clustering stage for diversity.
+    clustering stage for diversity.  ``distances`` optionally supplies the
+    precomputed ``(candidates, queries)`` matrix (typically a
+    :meth:`~repro.vectorops.DistanceContext.to_query` view) so no distance is
+    recomputed.
     """
     candidates = np.atleast_2d(np.asarray(candidate_embeddings, dtype=np.float64))
     query = np.atleast_2d(np.asarray(query_embeddings, dtype=np.float64))
@@ -49,7 +53,13 @@ def rank_candidates_against_query(
             for index in range(candidates.shape[0])
         ]
 
-    distances = pairwise_distance_matrix(candidates, query, metric=metric)
+    if distances is None:
+        distances = pairwise_distance_matrix(candidates, query, metric=metric)
+    elif distances.shape != (candidates.shape[0], query.shape[0]):
+        raise DiversificationError(
+            f"distances has shape {distances.shape}; expected "
+            f"({candidates.shape[0]}, {query.shape[0]})"
+        )
     rank_scores = distances.min(axis=1)
     tie_breaking = distances.mean(axis=1)
 

@@ -7,13 +7,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.distance import pairwise_distance_matrix
 from repro.utils.errors import DiversificationError
+from repro.vectorops import DistanceContext
 
 
 @dataclass
 class DiversificationRequest:
     """Inputs to a diversification run.
+
+    Every distance a diversifier needs is served by one shared
+    :class:`~repro.vectorops.DistanceContext`, so DUST and the IR baselines
+    (GMC, GNE, CLT, SWAP, Max-Min, Max-Sum) evaluated on the same request —
+    or on requests built over the same context — never recompute a matrix.
 
     Attributes
     ----------
@@ -27,12 +32,18 @@ class DiversificationRequest:
         Number of candidates to select (``k <= s``).
     metric:
         Distance metric name (``"cosine"`` by default, matching the paper).
+    context:
+        Optional pre-built :class:`~repro.vectorops.DistanceContext` over the
+        same query/candidate embeddings (the pipeline builds one per
+        :meth:`~repro.core.pipeline.DustPipeline.run`).  Created lazily from
+        the embeddings when absent.
     """
 
     query_embeddings: np.ndarray
     candidate_embeddings: np.ndarray
     k: int
     metric: str = "cosine"
+    context: DistanceContext | None = None
 
     def __post_init__(self) -> None:
         self.query_embeddings = np.atleast_2d(np.asarray(self.query_embeddings, dtype=np.float64))
@@ -60,28 +71,47 @@ class DiversificationRequest:
                 "query and candidate embeddings have different dimensionality: "
                 f"{self.query_embeddings.shape[1]} vs {self.candidate_embeddings.shape[1]}"
             )
+        if self.context is not None and (
+            self.context.num_queries != self.query_embeddings.shape[0]
+            or self.context.num_candidates != self.candidate_embeddings.shape[0]
+        ):
+            raise DiversificationError(
+                "context shape "
+                f"({self.context.num_queries} queries, "
+                f"{self.context.num_candidates} candidates) does not match the "
+                f"request ({self.query_embeddings.shape[0]} queries, "
+                f"{self.candidate_embeddings.shape[0]} candidates)"
+            )
+
+    @classmethod
+    def from_context(
+        cls, context: DistanceContext, k: int, *, metric: str | None = None
+    ) -> "DiversificationRequest":
+        """Build a request that is purely a view over an existing context."""
+        return cls(
+            query_embeddings=context.query.data,
+            candidate_embeddings=context.candidates.data,
+            k=k,
+            metric=metric or context.metric,
+            context=context,
+        )
 
     # -------------------------------------------------------- cached matrices
+    def distance_context(self) -> DistanceContext:
+        """The shared distance cache, created lazily from the embeddings."""
+        if self.context is None:
+            self.context = DistanceContext(
+                self.query_embeddings, self.candidate_embeddings, metric=self.metric
+            )
+        return self.context
+
     def candidate_distances(self) -> np.ndarray:
         """Pairwise distances between candidates, computed lazily and cached."""
-        cached = getattr(self, "_candidate_distances", None)
-        if cached is None:
-            cached = pairwise_distance_matrix(self.candidate_embeddings, metric=self.metric)
-            self._candidate_distances = cached
-        return cached
+        return self.distance_context().candidate_distances(self.metric)
 
     def query_candidate_distances(self) -> np.ndarray:
         """``(s, n)`` distances from each candidate to each query tuple."""
-        cached = getattr(self, "_query_candidate_distances", None)
-        if cached is None:
-            if self.query_embeddings.shape[0] == 0:
-                cached = np.zeros((self.candidate_embeddings.shape[0], 0))
-            else:
-                cached = pairwise_distance_matrix(
-                    self.candidate_embeddings, self.query_embeddings, metric=self.metric
-                )
-            self._query_candidate_distances = cached
-        return cached
+        return self.distance_context().query_candidate_distances(self.metric)
 
     def relevance(self) -> np.ndarray:
         """Relevance of each candidate to the query (IR trade-off convention).

@@ -23,12 +23,25 @@ class CLTDiversifier(Diversifier):
         self.cluster_metric = cluster_metric
 
     def select(self, request: DiversificationRequest) -> list[int]:
+        context = request.distance_context()
         clustering = AgglomerativeClustering(
             linkage=self.linkage, metric=self.cluster_metric
         )
-        result = clustering.cluster(request.candidate_embeddings, request.k)
+        result = clustering.cluster(
+            request.candidate_embeddings,
+            request.k,
+            precomputed_distances=context.candidate_distances(self.cluster_metric),
+        )
+        # Use the cached square only when some consumer already materialised
+        # it; otherwise the per-cluster sub-matrices are cheaper than a full
+        # second square under a different metric.
         medoids = cluster_medoids(
-            request.candidate_embeddings, result.labels, metric=request.metric
+            request.candidate_embeddings,
+            result.labels,
+            metric=request.metric,
+            distances=context.candidate_distances(request.metric)
+            if context.is_cached(request.metric)
+            else None,
         )
         # Constraint-free clustering may produce fewer clusters than k only when
         # k exceeds the candidate count, which the request already forbids; pad

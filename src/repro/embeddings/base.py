@@ -37,7 +37,14 @@ class TupleEncoder(abc.ABC):
         """Encode a single serialized tuple into a 1-D float vector."""
 
     def encode_many(self, texts: Sequence[str]) -> np.ndarray:
-        """Encode a batch of serialized tuples into a ``(n, dim)`` matrix."""
+        """Encode a batch of serialized tuples into a ``(n, dim)`` matrix.
+
+        This is the batch entry point the pipeline's embedding stage calls.
+        The default loops over :meth:`encode_text`; encoders with a cheaper
+        batch path (shared token matrices, one matmul for the whole batch)
+        override it — row ``i`` must stay identical to
+        ``encode_text(texts[i])``.
+        """
         if not texts:
             return np.zeros((0, self.dimension), dtype=np.float64)
         return np.vstack([self.encode_text(text) for text in texts])

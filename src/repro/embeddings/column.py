@@ -105,11 +105,33 @@ class ColumnLevelColumnEncoder(ColumnEncoder):
         return self.fit_corpus(corpus)
 
     def encode_column(self, header: str, values: Sequence[Any]) -> np.ndarray:
-        sentence = serialize_column(header, values)
-        tokens = self._tokenizer.tokenize_text(sentence)
-        if len(tokens) > self._token_limit:
-            tokens = self._selector.select(tokens, self._token_limit)
-        return self._base.encode_text(" ".join(tokens) if tokens else str(header))
+        return self.encode_columns([(header, values)])[0]
+
+    def encode_columns(
+        self, columns: Sequence[tuple[str, Sequence[Any]]]
+    ) -> np.ndarray:
+        """Batch encode ``(header, values)`` columns into a ``(n, dim)`` matrix.
+
+        TF-IDF token selection runs over the whole batch (one shared IDF
+        lookup via :meth:`TfidfSelector.select_many`) and the sentences are
+        embedded through the base encoder's batch ``encode_many`` path.
+        """
+        documents = [
+            self._tokenizer.tokenize_text(serialize_column(header, values))
+            for header, values in columns
+        ]
+        oversized = [i for i, tokens in enumerate(documents) if len(tokens) > self._token_limit]
+        if oversized:
+            selected = self._selector.select_many(
+                [documents[i] for i in oversized], self._token_limit
+            )
+            for position, index in enumerate(oversized):
+                documents[index] = selected[position]
+        sentences = [
+            " ".join(tokens) if tokens else str(header)
+            for tokens, (header, _) in zip(documents, columns)
+        ]
+        return self._base.encode_many(sentences)
 
 
 class StarmieColumnEncoder(ColumnEncoder):
@@ -159,13 +181,17 @@ class StarmieColumnEncoder(ColumnEncoder):
         return self._column_encoder.encode_column(header, values)
 
     def encode_table_columns(self, table: Table) -> dict[str, np.ndarray]:
-        """Encode every column of ``table`` with its table context blended in."""
-        raw = {
-            column: self._column_encoder.encode_column(column, table.column_values(column))
-            for column in table.columns
-        }
-        if not raw:
+        """Encode every column of ``table`` with its table context blended in.
+
+        All columns go through the column encoder's batch path, so the
+        table's TF-IDF selection and base-encoder work is shared.
+        """
+        if not table.columns:
             return {}
+        encoded = self._column_encoder.encode_columns(
+            [(column, table.column_values(column)) for column in table.columns]
+        )
+        raw = {column: encoded[i] for i, column in enumerate(table.columns)}
         context = l2_normalize(np.mean(list(raw.values()), axis=0))
         blended = {
             column: l2_normalize(

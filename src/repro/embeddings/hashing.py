@@ -106,6 +106,38 @@ class HashedVectorSpace:
             return matrix.mean(axis=0)
         return (matrix * weight_array[:, None]).sum(axis=0) / total
 
+    def token_matrix(self, tokens: Sequence[str]) -> np.ndarray:
+        """Stack the (cached) vectors of ``tokens`` into a ``(len, dim)`` matrix."""
+        if not tokens:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.vstack([self.token_vector(token) for token in tokens])
+
+    def encode_token_batches(
+        self, token_lists: Sequence[Sequence[str]]
+    ) -> np.ndarray:
+        """Encode many token lists into a ``(len(token_lists), dim)`` matrix.
+
+        The vector of every *distinct* token across the batch is materialised
+        exactly once; each document's embedding is then a mean over rows of
+        that shared matrix.  Row ``i`` is bit-identical to
+        ``encode_tokens(token_lists[i])``.
+        """
+        if not token_lists:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+
+        vocabulary: dict[str, int] = {}
+        for tokens in token_lists:
+            for token in tokens:
+                if token not in vocabulary:
+                    vocabulary[token] = len(vocabulary)
+        shared = self.token_matrix(list(vocabulary))
+
+        encoded = np.zeros((len(token_lists), self.dimension), dtype=np.float64)
+        for row, tokens in enumerate(token_lists):
+            if tokens:
+                encoded[row] = shared[[vocabulary[token] for token in tokens]].mean(axis=0)
+        return encoded
+
     def cache_size(self) -> int:
         """Number of token vectors currently memoised."""
         return len(self._cache)

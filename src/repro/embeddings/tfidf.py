@@ -73,16 +73,57 @@ class TfidfSelector:
         The returned list preserves one occurrence per selected distinct token,
         which matches how the paper truncates column serializations.
         """
+        return self.select_many([tokens], limit)[0]
+
+    # --------------------------------------------------------------- batching
+    def idf_many(self, tokens: Sequence[str]) -> dict[str, float]:
+        """Smoothed IDF of every *distinct* token in ``tokens``, in one pass.
+
+        Each distinct token's IDF is evaluated exactly once via :meth:`idf`
+        (same ``math.log``, so single-document results stay bit-identical),
+        instead of once per occurrence per document.
+        """
+        if not self.is_fitted:
+            raise EmbeddingError("TfidfSelector.idf_many called before fit()")
+        return {token: self.idf(token) for token in dict.fromkeys(tokens)}
+
+    def select_many(
+        self, documents: Sequence[Sequence[str]], limit: int
+    ) -> list[list[str]]:
+        """Batch :meth:`select`: rank every document against one shared IDF table.
+
+        The IDF of each distinct token across the whole batch is computed
+        once, so selecting tokens for every column of a table (or every table
+        of a lake) no longer re-derives per-token IDFs document by document.
+        """
         if limit <= 0:
             raise EmbeddingError(f"limit must be positive, got {limit}")
-        if not tokens:
-            return []
-        weights = self.weights(tokens)
-        first_position = {}
-        for position, token in enumerate(tokens):
-            first_position.setdefault(token, position)
-        ranked = sorted(
-            weights.items(),
-            key=lambda item: (-item[1], first_position[item[0]]),
-        )
-        return [token for token, _ in ranked[:limit]]
+        shared_idf: dict[str, float] = {}
+        if self.is_fitted:
+            shared_idf = self.idf_many(
+                [token for tokens in documents for token in tokens]
+            )
+
+        selected: list[list[str]] = []
+        for tokens in documents:
+            if not tokens:
+                selected.append([])
+                continue
+            term_frequency = Counter(tokens)
+            total = len(tokens)
+            if self.is_fitted:
+                weights = {
+                    token: (count / total) * shared_idf[token]
+                    for token, count in term_frequency.items()
+                }
+            else:
+                weights = {token: count / total for token, count in term_frequency.items()}
+            first_position: dict[str, int] = {}
+            for position, token in enumerate(tokens):
+                first_position.setdefault(token, position)
+            ranked = sorted(
+                weights.items(),
+                key=lambda item: (-item[1], first_position[item[0]]),
+            )
+            selected.append([token for token, _ in ranked[:limit]])
+        return selected

@@ -52,6 +52,27 @@ class _StaticWordModel(TupleEncoder):
         tokens = self._tokenizer.tokenize_text(text)
         return self.encode_tokens(tokens)
 
+    def encode_many(self, texts: Sequence[str]) -> np.ndarray:
+        """True batch encoding: one shared token matrix for the whole batch.
+
+        Tokenisation still runs per text, but every distinct token vector is
+        materialised once for the batch (instead of once per occurrence via
+        the per-text ``vstack`` loop) and rows are normalised in one pass.
+        Row ``i`` is bit-identical to ``encode_text(texts[i])``.
+        """
+        if not texts:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        token_lists = [self._tokenizer.tokenize_text(text) for text in texts]
+        encoded = self._space.encode_token_batches(token_lists)
+        # Per-row np.linalg.norm keeps each row bit-identical to the
+        # encode_text path (the axis=1 reduction sums in a different order).
+        norms = np.array([np.linalg.norm(row) for row in encoded])
+        zero = norms < 1e-12
+        safe = np.where(zero, 1.0, norms)
+        encoded = encoded / safe[:, None]
+        encoded[zero] = 0.0
+        return encoded
+
 
 class FastTextLikeModel(_StaticWordModel):
     """FastText-style model: token vectors composed from character n-grams.

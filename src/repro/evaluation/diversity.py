@@ -46,19 +46,17 @@ MethodLike = Diversifier | Callable[[QueryWorkload, int], list[int]]
 
 def _run_method(method: MethodLike, workload: QueryWorkload, k: int) -> list[int]:
     effective_k = min(k, workload.num_candidates)
-    if isinstance(method, DustDiversifier):
-        request = DiversificationRequest(
-            query_embeddings=workload.query_embeddings,
-            candidate_embeddings=workload.candidate_embeddings,
-            k=effective_k,
-        )
-        return method.select(request, table_ids=workload.table_ids)
     if isinstance(method, Diversifier):
+        # Every method's request is a view over the workload's shared
+        # DistanceContext, so competing methods never recompute a matrix.
         request = DiversificationRequest(
             query_embeddings=workload.query_embeddings,
             candidate_embeddings=workload.candidate_embeddings,
             k=effective_k,
+            context=workload.distance_context(),
         )
+        if isinstance(method, DustDiversifier):
+            return method.select(request, table_ids=workload.table_ids)
         return method.select(request)
     return method(workload, effective_k)
 
@@ -81,12 +79,21 @@ def evaluate_diversifiers_on_benchmark(
         for method_name, method in methods.items():
             selection, elapsed = timed(_run_method, method, workload, k)
             selected = workload.candidate_embeddings[np.asarray(selection, dtype=int)]
+            context = workload.distance_context()
             outcome = outcomes[method_name]
             outcome.average_scores[query_name] = average_diversity(
-                workload.query_embeddings, selected, metric=metric
+                workload.query_embeddings,
+                selected,
+                metric=metric,
+                context=context,
+                selected_indices=selection,
             )
             outcome.min_scores[query_name] = min_diversity(
-                workload.query_embeddings, selected, metric=metric
+                workload.query_embeddings,
+                selected,
+                metric=metric,
+                context=context,
+                selected_indices=selection,
             )
             outcome.times[query_name] = elapsed
     return outcomes

@@ -23,6 +23,7 @@ from repro.datalake.table import Table
 from repro.embeddings.base import ColumnEncoder, TupleEncoder
 from repro.embeddings.serialization import AlignedTuple, serialize_aligned_tuple
 from repro.utils.errors import BenchmarkError
+from repro.vectorops import DistanceContext
 
 
 @dataclass
@@ -34,11 +35,20 @@ class QueryWorkload:
     candidate_embeddings: np.ndarray
     candidates: list[AlignedTuple] = field(default_factory=list)
     table_ids: list[str] = field(default_factory=list)
+    _context: DistanceContext | None = field(default=None, repr=False, compare=False)
 
     @property
     def num_candidates(self) -> int:
         """Number of unionable data lake tuples available to diversify."""
         return len(self.candidates)
+
+    def distance_context(self) -> DistanceContext:
+        """One shared distance cache for every method run on this workload."""
+        if self._context is None:
+            self._context = DistanceContext(
+                self.query_embeddings, self.candidate_embeddings
+            )
+        return self._context
 
 
 def _provenance_alignment(query_table: Table, lake_tables: Sequence[Table]) -> list[AlignedTuple]:

@@ -1,0 +1,18 @@
+"""Shared vector engine: batch embeddings, cached per-query distance matrices.
+
+The DUST runtime study (paper Sec. 6.2.5) shows pairwise distance computation
+dominating Algorithm 2.  This package is the single place that cost is paid:
+
+* :class:`EmbeddingMatrix` — a dtype-controlled embedding matrix whose row
+  norms and unit rows are computed once and cached.
+* :class:`DistanceContext` — lazily computes the full (query ∪ candidate)
+  pairwise distance matrix per metric and serves sub-matrix views
+  (``block``, ``to_query``, ``within``) to pruning, clustering, medoid
+  extraction, re-ranking, the k-shortfall fallback, the Eq. 1/Eq. 2 metrics
+  and every IR diversification baseline.
+"""
+
+from repro.vectorops.context import DistanceContext
+from repro.vectorops.matrix import EmbeddingMatrix
+
+__all__ = ["DistanceContext", "EmbeddingMatrix"]

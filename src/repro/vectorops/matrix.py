@@ -1,0 +1,107 @@
+"""Embedding matrix wrapper: one dtype, rows normalised once.
+
+Every stage of Algorithm 2 re-derives the same quantities from the raw
+embedding rows — L2 norms for cosine distances, unit rows for similarity
+matmuls.  :class:`EmbeddingMatrix` computes each of them at most once and
+serves cached views, so the cost of preparing a candidate set is paid a single
+time per query regardless of how many downstream consumers touch it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EmbeddingMatrix:
+    """A ``(rows, dim)`` embedding matrix with cached norms and unit rows.
+
+    Parameters
+    ----------
+    data:
+        Anything array-like; 1-D input is promoted to a single row.  The data
+        is converted to ``dtype`` exactly once and never mutated.
+    dtype:
+        Floating dtype of the stored matrix (``float64`` by default so the
+        numerics match the per-call paths this class replaces).
+    """
+
+    __slots__ = ("data", "_norms", "_unit")
+
+    def __init__(self, data, *, dtype: np.dtype | type = np.float64) -> None:
+        matrix = np.asarray(data, dtype=dtype)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 1-D or 2-D array, got shape {matrix.shape}")
+        self.data = matrix
+        self._norms: np.ndarray | None = None
+        self._unit: np.ndarray | None = None
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def wrap(cls, data, *, dtype: np.dtype | type = np.float64) -> "EmbeddingMatrix":
+        """Return ``data`` unchanged if it already is an :class:`EmbeddingMatrix`."""
+        if isinstance(data, EmbeddingMatrix):
+            return data
+        if data is None:
+            return cls(np.zeros((0, 0), dtype=dtype), dtype=dtype)
+        return cls(data, dtype=dtype)
+
+    # ------------------------------------------------------------- basic shape
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.data.shape
+
+    @property
+    def num_rows(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        return self.data.shape[1]
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EmbeddingMatrix(shape={self.data.shape}, dtype={self.data.dtype})"
+
+    # ---------------------------------------------------------- cached derived
+    @property
+    def norms(self) -> np.ndarray:
+        """Row L2 norms, computed once."""
+        if self._norms is None:
+            self._norms = np.linalg.norm(self.data, axis=1)
+        return self._norms
+
+    @property
+    def unit(self) -> np.ndarray:
+        """Rows scaled to unit L2 norm; zero rows stay zero.  Computed once.
+
+        Zero rows are detected with the exact ``norm == 0`` test
+        :func:`~repro.cluster.distance.cosine_distance_matrix` uses, so unit
+        rows and masks feed
+        :func:`~repro.cluster.distance.cosine_distance_matrix_from_unit`
+        with bit-identical results.
+        """
+        if self._unit is None:
+            norms = self.norms
+            safe = np.where(norms == 0.0, 1.0, norms)
+            self._unit = self.data / safe[:, None]
+        return self._unit
+
+    @property
+    def zero_rows(self) -> np.ndarray:
+        """Boolean mask of all-zero rows."""
+        return self.norms == 0.0
+
+    # ------------------------------------------------------------------- views
+    def take(self, rows) -> "EmbeddingMatrix":
+        """Sub-matrix over ``rows``, propagating any already-computed caches."""
+        index = np.asarray(rows, dtype=int)
+        subset = EmbeddingMatrix(self.data[index], dtype=self.data.dtype)
+        if self._norms is not None:
+            subset._norms = self._norms[index]
+        if self._unit is not None:
+            subset._unit = self._unit[index]
+        return subset

@@ -92,6 +92,16 @@ class TestPruning:
         kept = prune_by_table(embeddings, ids, limit=2, metric="euclidean")
         assert set(kept) == {4, 9}
 
+    def test_mixed_type_table_ids_stay_distinct(self):
+        # int 1 and str "1" are different tables; grouping must not coerce
+        # them into one numpy dtype (the equality-based seed kept them apart).
+        table_a = np.vstack([np.zeros((4, 2)), [[3.0, 0.0]]])
+        table_b = np.vstack([np.full((4, 2), 10.0), [[20.0, 10.0]]])
+        embeddings = np.vstack([table_a, table_b])
+        ids = [1] * 5 + ["1"] * 5
+        kept = prune_by_table(embeddings, ids, limit=2, metric="euclidean")
+        assert set(kept) == {4, 9}
+
     def test_validation(self):
         with pytest.raises(DiversificationError):
             prune_by_table(np.zeros((0, 2)), [], 3)

@@ -85,6 +85,41 @@ class TestEndToEndPipeline:
         result = pipeline.run(query, k=5)
         assert len(result.selected_tuples) == 5
 
+    def test_run_many_matches_individual_runs(self, ugen_benchmark, pipeline):
+        queries = ugen_benchmark.query_tables
+        results = pipeline.run_many(queries, k=5)
+        assert len(results) == len(queries)
+        for query, batched in zip(queries, results):
+            single = pipeline.run(query, k=5)
+            assert [
+                (t.source_table, t.source_row) for t in batched.selected_tuples
+            ] == [(t.source_table, t.source_row) for t in single.selected_tuples]
+
+    def test_run_many_requires_index(self, ugen_benchmark):
+        from repro.embeddings import CellLevelColumnEncoder, FastTextLikeModel
+        from repro.search import ValueOverlapSearcher
+
+        unindexed = DustPipeline(
+            searcher=ValueOverlapSearcher(),
+            column_encoder=CellLevelColumnEncoder(FastTextLikeModel()),
+            tuple_encoder=GloveLikeModel(dimension=32),
+        )
+        with pytest.raises(ConfigurationError):
+            unindexed.run_many(ugen_benchmark.query_tables)
+
+    def test_result_exposes_distance_context(self, ugen_benchmark, pipeline):
+        result = pipeline.run(ugen_benchmark.query_tables[0])
+        assert result.distance_context is not None
+        assert result.distance_context.num_candidates == result.num_candidate_tuples
+        assert len(result.selected_indices) == len(result.selected_tuples)
+        assert all(
+            0 <= index < result.num_candidate_tuples
+            for index in result.selected_indices
+        )
+        # diversity() is served from the stored context.
+        scores = result.diversity()
+        assert scores["average_diversity"] > 0.0
+
     def test_small_query_rejected(self, pipeline):
         tiny = Table(name="tiny", columns=["a"], rows=[(1,), (2,)])
         with pytest.raises(DataLakeError):
