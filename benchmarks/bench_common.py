@@ -9,6 +9,7 @@ constants below are the single place to raise if you want paper-sized runs.
 from __future__ import annotations
 
 from functools import lru_cache
+from pathlib import Path
 
 from repro.benchgen import (
     generate_finetuning_dataset,
@@ -21,6 +22,9 @@ from repro.benchgen import (
 
 #: Number of query tables evaluated per benchmark in the harness.
 NUM_QUERIES = 4
+#: Persistent index store shared by every harness run (survives reruns, so a
+#: second `pytest benchmarks/` invocation skips all lake indexing).
+INDEX_STORE_ROOT = Path(__file__).resolve().parent.parent / ".cache" / "index-store"
 #: k used for SANTOS-style diversification experiments (paper: 100).
 SANTOS_K = 30
 #: k used for UGEN-style diversification experiments (paper: 30).
@@ -88,6 +92,42 @@ def dust_tuple_model():
         config=FineTuneConfig(max_epochs=20, patience=5, batch_size=32, hidden_dim=128),
     )
     return model
+
+
+@lru_cache(maxsize=8)
+def search_service(backend: str, benchmark_name: str):
+    """A prewarmed :class:`~repro.serving.QueryService` for one backend/lake.
+
+    Indexes are persisted under ``.cache/index-store`` keyed by backend
+    configuration and lake content, so each lake is indexed at most once
+    across *all* harness runs; queries are LRU-cached and (for large
+    workloads) served in parallel.
+    """
+    from repro.search import (
+        D3LSearcher,
+        SantosSearcher,
+        StarmieSearcher,
+        ValueOverlapSearcher,
+    )
+    from repro.serving import IndexStore, QueryService
+
+    factories = {
+        "overlap": ValueOverlapSearcher,
+        "starmie": StarmieSearcher,
+        "d3l": D3LSearcher,
+        "santos": SantosSearcher,
+    }
+    benchmarks = {
+        "santos": santos_benchmark,
+        "ugen-v1": ugen_benchmark,
+        "imdb": imdb_benchmark,
+        "tus-sampled": tus_sampled_benchmark,
+        "tus": tus_benchmark,
+    }
+    service = QueryService(
+        factories[backend](), store=IndexStore(INDEX_STORE_ROOT)
+    )
+    return service.warm(benchmarks[benchmark_name]().lake)
 
 
 @lru_cache(maxsize=4)

@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.cluster.distance import cosine_distance
-from repro.datalake import Table
 from repro.embeddings.serialization import serialize_tuple
 from repro.models import FineTuneConfig, build_dust_model
 from repro.utils.rng import seeded_rng

@@ -16,9 +16,10 @@ from repro.datalake import DataLake, Table
 from repro.diversify import DiversificationRequest
 from repro.evaluation import prepare_query_workload
 from repro.search import StarmieSearcher
+from repro.serving import IndexStore
 from repro.utils.text import normalize_text
 
-from bench_common import dust_tuple_model, ugen_benchmark
+from bench_common import INDEX_STORE_ROOT, dust_tuple_model, ugen_benchmark
 
 K = 10
 
@@ -61,8 +62,11 @@ def _run_anecdote():
         for value in query.column_values(entity_column, drop_nulls=True)
     }
 
-    starmie = StarmieSearcher()
-    starmie.index(benchmark.lake)
+    # The anecdote lake is ad hoc, but its Starmie index still persists in
+    # the shared store (content-keyed), so harness reruns skip the rebuild.
+    starmie = IndexStore(INDEX_STORE_ROOT).load_or_build(
+        StarmieSearcher(), benchmark.lake
+    )
     starmie_tuples = starmie.search_tuples(query, K)
 
     workload = prepare_query_workload(benchmark, query, dust_tuple_model())

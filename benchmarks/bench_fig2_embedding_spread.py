@@ -11,7 +11,6 @@ import numpy as np
 
 from repro.cluster import PCA
 from repro.embeddings import RobertaLikeModel, StarmieColumnEncoder, serialize_tuple
-from repro.search.starmie import StarmieSearcher
 
 from bench_common import santos_benchmark
 

@@ -15,7 +15,6 @@ from repro.evaluation.representation import (
     format_representation_results,
 )
 from repro.models import FineTuneConfig, build_ditto_model, build_dust_model
-from repro.models.evaluate import pair_accuracy
 
 from bench_common import finetuning_dataset, tus_benchmark
 

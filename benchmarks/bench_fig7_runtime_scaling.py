@@ -7,7 +7,6 @@ shape: GMC grows quadratically with s and roughly linearly with k, while DUST
 (and CLT) grow mildly with s and are essentially flat in k.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import DustConfig, DustDiversifier

@@ -17,13 +17,11 @@ baseline using DUST embeddings").
 import pytest
 
 from repro.core import DustDiversifier
-from repro.datalake.table import Table
 from repro.evaluation import count_wins, evaluate_diversifiers_on_benchmark
 from repro.evaluation.case_study import tuples_from_table_union
 from repro.evaluation.diversity import format_win_table
 from repro.embeddings.serialization import serialize_aligned_tuple
 from repro.llm import LLMTokenLimitError, SimulatedLLM
-from repro.search import D3LSearcher, StarmieSearcher
 
 from bench_common import (
     SANTOS_K,
@@ -31,6 +29,7 @@ from bench_common import (
     diversification_workloads,
     dust_tuple_model,
     santos_benchmark,
+    search_service,
     ugen_benchmark,
 )
 
@@ -61,13 +60,10 @@ def _nearest_candidate_indices(workload, tuples):
     return chosen
 
 
-def _starmie_method(benchmark_obj, searcher_cache={}):
-    key = benchmark_obj.name
-    if key not in searcher_cache:
-        searcher = StarmieSearcher()
-        searcher.index(benchmark_obj.lake)
-        searcher_cache[key] = searcher
-    searcher = searcher_cache[key]
+def _starmie_method(benchmark_obj):
+    # Prewarmed service: the Starmie lake index is restored from the shared
+    # store instead of being rebuilt on every harness run.
+    searcher = search_service("starmie", benchmark_obj.name).searcher
 
     def method(workload, k):
         tuples = searcher.search_tuples(workload.query_table, k)
@@ -76,16 +72,11 @@ def _starmie_method(benchmark_obj, searcher_cache={}):
     return method
 
 
-def _d3l_method(benchmark_obj, searcher_cache={}):
-    key = benchmark_obj.name
-    if key not in searcher_cache:
-        searcher = D3LSearcher()
-        searcher.index(benchmark_obj.lake)
-        searcher_cache[key] = searcher
-    searcher = searcher_cache[key]
+def _d3l_method(benchmark_obj):
+    service = search_service("d3l", benchmark_obj.name)
 
     def method(workload, k):
-        tables = searcher.search_tables(workload.query_table, 5)
+        tables = service.search_tables(workload.query_table, 5)
         tuples = tuples_from_table_union(tables, workload.query_table.columns, k)
         indices = _nearest_candidate_indices(workload, tuples)[:k]
         return indices if len(indices) == k else (indices + [i for i in range(len(workload.candidates)) if i not in indices])[:k]

@@ -11,11 +11,14 @@ Run directly::
     PYTHONPATH=src python benchmarks/bench_vectorops_engine.py
 
 The two paths must select identical tuples; the script asserts that before
-reporting any timing.
+reporting any timing.  ``--sizes``/``--repeats`` shrink the sweep for smoke
+runs (the CI ``bench-smoke`` job runs ``--sizes 300 --repeats 1`` to catch
+perf-path breakage without gating on wall-clock).
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
 import numpy as np
@@ -152,7 +155,23 @@ def best_of(function, repeats: int = REPEATS):
     return best, result
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(CANDIDATE_SIZES),
+        help="candidate-set sizes to sweep (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=REPEATS,
+        help="timed repetitions per size, best-of (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
     config = DustConfig()
     print(
         f"DUST diversification stage, d={DIMENSION}, k={K}, "
@@ -161,18 +180,19 @@ def main() -> None:
     header = f"{'s':>6} {'seed path (s)':>14} {'shared ctx (s)':>15} {'speedup':>8}"
     print(header)
     print("-" * len(header))
-    for num_candidates in CANDIDATE_SIZES:
+    for num_candidates in args.sizes:
         query, candidates, table_ids = make_workload(num_candidates, seed=num_candidates)
 
         seed_time, seed_selection = best_of(
-            lambda: seed_dust_select(query, candidates, table_ids, K, config)
+            lambda: seed_dust_select(query, candidates, table_ids, K, config),
+            repeats=args.repeats,
         )
 
         def shared_path():
             request = DiversificationRequest(query, candidates, k=K)
             return DustDiversifier(config).select(request, table_ids=table_ids)
 
-        shared_time, shared_selection = best_of(shared_path)
+        shared_time, shared_selection = best_of(shared_path, repeats=args.repeats)
 
         assert shared_selection == seed_selection, (
             f"selection drift at s={num_candidates}: "

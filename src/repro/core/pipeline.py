@@ -16,7 +16,7 @@ Given a query table, a data lake and a budget ``k``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from repro.search.base import SearchResult, TableUnionSearcher
 from repro.utils.errors import ConfigurationError, DataLakeError
 from repro.utils.timing import Timer
 from repro.vectorops import DistanceContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.serving.service import QueryService
 
 
 @dataclass
@@ -112,6 +115,7 @@ class DustPipeline:
         *,
         k: int | None = None,
         keep_distance_context: bool = True,
+        search_results: Sequence[SearchResult] | None = None,
     ) -> DustResult:
         """Run Algorithm 1 for ``query_table`` and return ``k`` diverse tuples.
 
@@ -120,6 +124,10 @@ class DustPipeline:
         analyses; :meth:`run_many` turns it off so multi-query workloads
         don't accumulate one square matrix per retained result
         (``DustResult.diversity()`` works either way).
+
+        ``search_results`` supplies precomputed step-1 rankings (e.g. from a
+        :class:`~repro.serving.QueryService`); when given, the searcher is
+        only used to resolve table names against the indexed lake.
         """
         config = self.config
         k = k if k is not None else config.k
@@ -136,9 +144,12 @@ class DustPipeline:
 
         # Step 1: table union search (Algorithm 1, line 3).
         with timer.measure():
-            result.search_results = self.searcher.search(
-                query_table, config.num_search_tables
-            )
+            if search_results is not None:
+                result.search_results = list(search_results)
+            else:
+                result.search_results = self.searcher.search(
+                    query_table, config.num_search_tables
+                )
         result.timings["search"] = timer.laps[-1]
         lake_tables = [
             self.searcher.lake.get(hit.table_name) for hit in result.search_results
@@ -205,7 +216,11 @@ class DustPipeline:
         return result
 
     def run_many(
-        self, query_tables: Sequence[Table], *, k: int | None = None
+        self,
+        query_tables: Sequence[Table],
+        *,
+        k: int | None = None,
+        service: "QueryService | None" = None,
     ) -> list[DustResult]:
         """Run Algorithm 1 for several query tables against one indexed lake.
 
@@ -215,7 +230,33 @@ class DustPipeline:
         creates it, so multi-query workloads pay the lake indexing cost once
         and the per-query distance cost once.  The per-query contexts are
         released after each run so retained results stay small.
+
+        ``service`` accepts a prewarmed :class:`~repro.serving.QueryService`
+        instead of a raw indexed searcher: step-1 rankings for the whole
+        workload are retrieved up front in parallel (and possibly from the
+        service's cache), the pipeline adopts the service's searcher, and the
+        per-query pipeline stages run on the precomputed rankings.  Served
+        selections are identical to the direct path.
         """
+        if service is not None:
+            if not service.is_warm:
+                raise ConfigurationError(
+                    "run_many() received a QueryService that has not been "
+                    "warmed; call service.warm(lake) first"
+                )
+            self.searcher = service.searcher
+            batched = service.search_many(
+                query_tables, self.config.num_search_tables
+            )
+            return [
+                self.run(
+                    query_table,
+                    k=k,
+                    keep_distance_context=False,
+                    search_results=search_results,
+                )
+                for query_table, search_results in zip(query_tables, batched)
+            ]
         if not self.searcher.is_indexed:
             raise ConfigurationError(
                 "run_many() called before index(); call pipeline.index(lake) first"

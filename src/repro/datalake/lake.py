@@ -10,6 +10,7 @@ benchmark-statistics experiment.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Iterable, Iterator
 
 from repro.datalake.table import Table
@@ -90,6 +91,18 @@ class DataLake:
     def num_rows(self) -> int:
         """Total number of tuples across all tables."""
         return sum(table.num_rows for table in self)
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the lake: digest over every table, in order.
+
+        The lake ``name`` is deliberately excluded so two lakes holding the
+        same tables share persisted indexes and cached search results.
+        """
+        hasher = hashlib.sha256()
+        for table in self:
+            hasher.update(table.content_fingerprint().encode())
+            hasher.update(b"\n")
+        return hasher.hexdigest()
 
     def filter(self, predicate: Callable[[Table], bool], *, name: str | None = None) -> "DataLake":
         """Return a new lake with only the tables satisfying ``predicate``."""

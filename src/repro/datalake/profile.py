@@ -49,6 +49,45 @@ class ColumnProfile:
             return 0.0
         return self.num_distinct / non_null
 
+    def to_state(self) -> dict[str, Any]:
+        """JSON-serializable form (frozensets become sorted lists).
+
+        Floats round-trip exactly through JSON (``repr`` based), so a profile
+        restored with :meth:`from_state` compares equal to the original.
+        """
+        return {
+            "table_name": self.table_name,
+            "column_name": self.column_name,
+            "num_values": self.num_values,
+            "num_nulls": self.num_nulls,
+            "num_distinct": self.num_distinct,
+            "is_numeric": self.is_numeric,
+            "mean": self.mean,
+            "std": self.std,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "distinct_values": sorted(self.distinct_values),
+            "tokens": sorted(self.tokens),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "ColumnProfile":
+        """Rebuild a profile dumped by :meth:`to_state`."""
+        return cls(
+            table_name=state["table_name"],
+            column_name=state["column_name"],
+            num_values=int(state["num_values"]),
+            num_nulls=int(state["num_nulls"]),
+            num_distinct=int(state["num_distinct"]),
+            is_numeric=bool(state["is_numeric"]),
+            mean=state["mean"],
+            std=state["std"],
+            minimum=state["minimum"],
+            maximum=state["maximum"],
+            distinct_values=frozenset(state["distinct_values"]),
+            tokens=frozenset(state["tokens"]),
+        )
+
 
 @dataclass(frozen=True)
 class TableProfile:

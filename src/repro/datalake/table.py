@@ -12,6 +12,7 @@ values are represented by ``None`` and recognised through
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
@@ -78,6 +79,7 @@ class Table:
                 )
             normalized.append(tuple(row))
         self.rows = normalized
+        self._fingerprint_cache: str | None = None
 
     # ------------------------------------------------------------------ shape
     @property
@@ -203,6 +205,7 @@ class Table:
                     f"{self.name!r} with {self.num_columns} columns"
                 )
             self.rows.append(row)
+        self._fingerprint_cache = None
 
     def is_numeric_column(self, name: str, *, threshold: float = 0.8) -> bool:
         """Heuristically classify column ``name`` as numeric.
@@ -216,6 +219,33 @@ class Table:
             return False
         numeric = sum(1 for value in values if is_numeric(value))
         return numeric / len(values) >= threshold
+
+    def content_fingerprint(self) -> str:
+        """Stable hex digest of the table's name, header and rows.
+
+        Two tables with the same name, columns and cell values (``metadata``
+        is excluded — no index reads it) produce the same fingerprint across
+        processes, which is what lets the serving layer key persisted indexes
+        and cached search results by content rather than by object identity.
+
+        The digest is cached; :meth:`append_rows` invalidates it.  Mutating
+        ``rows`` or ``columns`` directly bypasses the invalidation — go
+        through the provided operations (which return new tables) instead.
+        """
+        if self._fingerprint_cache is not None:
+            return self._fingerprint_cache
+        hasher = hashlib.sha256()
+        hasher.update(self.name.encode())
+        for column in self.columns:
+            hasher.update(b"\x1f")
+            hasher.update(column.encode())
+        for row in self.rows:
+            hasher.update(b"\x1e")
+            for value in row:
+                hasher.update(b"\x1f")
+                hasher.update(f"{type(value).__name__}:{value!r}".encode())
+        self._fingerprint_cache = hasher.hexdigest()
+        return self._fingerprint_cache
 
     def copy(self, *, name: str | None = None) -> "Table":
         """Return a deep-enough copy (rows are immutable tuples)."""

@@ -34,7 +34,6 @@ class MaxMinDiversifier(Diversifier):
     def select(self, request: DiversificationRequest) -> list[int]:
         distances = request.candidate_distances()
         query_distances = request.query_candidate_distances()
-        num_candidates = distances.shape[0]
 
         if self.include_query and query_distances.shape[1] > 0:
             min_to_query = query_distances.min(axis=1)

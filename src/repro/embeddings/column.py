@@ -104,6 +104,15 @@ class ColumnLevelColumnEncoder(ColumnEncoder):
         ]
         return self.fit_corpus(corpus)
 
+    def fit_state(self) -> dict:
+        """JSON-serializable fitted state of the TF-IDF selector."""
+        return self._selector.state_dict()
+
+    def load_fit_state(self, state: dict) -> "ColumnLevelColumnEncoder":
+        """Restore a fitted TF-IDF selector dumped by :meth:`fit_state`."""
+        self._selector.load_state_dict(state)
+        return self
+
     def encode_column(self, header: str, values: Sequence[Any]) -> np.ndarray:
         return self.encode_columns([(header, values)])[0]
 
@@ -171,9 +180,23 @@ class StarmieColumnEncoder(ColumnEncoder):
     def info(self) -> EncoderInfo:
         return self._info
 
+    @property
+    def table_context_weight(self) -> float:
+        """Blend weight of the table-context vector (part of the index key)."""
+        return self._table_context_weight
+
     def fit_tables(self, tables: Sequence[Table]) -> "StarmieColumnEncoder":
         """Fit the underlying TF-IDF selector over ``tables``."""
         self._column_encoder.fit_tables(tables)
+        return self
+
+    def fit_state(self) -> dict:
+        """JSON-serializable fitted state of the underlying TF-IDF selector."""
+        return self._column_encoder.fit_state()
+
+    def load_fit_state(self, state: dict) -> "StarmieColumnEncoder":
+        """Restore a fitted TF-IDF selector dumped by :meth:`fit_state`."""
+        self._column_encoder.load_fit_state(state)
         return self
 
     def encode_column(self, header: str, values: Sequence[Any]) -> np.ndarray:

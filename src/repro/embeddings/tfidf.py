@@ -45,6 +45,25 @@ class TfidfSelector:
         """Whether :meth:`fit` has been called on a non-empty corpus."""
         return self._num_documents > 0
 
+    def state_dict(self) -> dict:
+        """JSON-serializable fitted state (document frequencies + corpus size)."""
+        return {
+            "num_documents": self._num_documents,
+            "document_frequency": dict(self._document_frequency),
+        }
+
+    def load_state_dict(self, state: dict) -> "TfidfSelector":
+        """Restore the state produced by :meth:`state_dict`.
+
+        Frequencies are integers, so a round-trip through JSON reproduces
+        :meth:`idf` bit-identically.
+        """
+        self._num_documents = int(state["num_documents"])
+        self._document_frequency = Counter(
+            {str(token): int(count) for token, count in state["document_frequency"].items()}
+        )
+        return self
+
     # ---------------------------------------------------------------- scoring
     def idf(self, token: str) -> float:
         """Smoothed inverse document frequency of ``token``."""

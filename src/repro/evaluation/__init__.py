@@ -14,6 +14,7 @@ from repro.evaluation.diversity import (
 from repro.evaluation.case_study import unique_values_added, case_study_series
 from repro.evaluation.runner import (
     prepare_query_workload,
+    prepare_query_workloads,
     QueryWorkload,
 )
 
@@ -28,5 +29,6 @@ __all__ = [
     "unique_values_added",
     "case_study_series",
     "prepare_query_workload",
+    "prepare_query_workloads",
     "QueryWorkload",
 ]

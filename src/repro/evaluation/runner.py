@@ -12,7 +12,7 @@ gives an exact alignment at zero cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from repro.embeddings.base import ColumnEncoder, TupleEncoder
 from repro.embeddings.serialization import AlignedTuple, serialize_aligned_tuple
 from repro.utils.errors import BenchmarkError
 from repro.vectorops import DistanceContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.serving.service import QueryService
 
 
 @dataclass
@@ -96,6 +99,8 @@ def prepare_query_workload(
     use_provenance_alignment: bool = True,
     max_candidate_tuples: int | None = None,
     max_unionable_tables: int | None = None,
+    search_service: "QueryService | None" = None,
+    num_search_tables: int = 10,
 ) -> QueryWorkload:
     """Build the diversification workload of one query table.
 
@@ -110,8 +115,16 @@ def prepare_query_workload(
         Optional cap on the number of unionable tuples (the ``s`` of the
         paper's experiments, at most 2 500 in Sec. 6.4.3); tuples are kept in
         table order.
+    search_service:
+        A prewarmed :class:`~repro.serving.QueryService`.  When given, the
+        unionable tables come from its top-``num_search_tables`` search
+        rankings (cached and servable in parallel) instead of the benchmark's
+        ground truth — the end-to-end setting of Sec. 6.5.
     """
-    lake_tables = benchmark.unionable_tables(query_table.name)
+    if search_service is not None:
+        lake_tables = search_service.search_tables(query_table, num_search_tables)
+    else:
+        lake_tables = benchmark.unionable_tables(query_table.name)
     if max_unionable_tables is not None:
         lake_tables = lake_tables[:max_unionable_tables]
     if not lake_tables:
@@ -149,3 +162,34 @@ def prepare_query_workload(
         candidates=candidates,
         table_ids=[candidate.source_table for candidate in candidates],
     )
+
+
+def prepare_query_workloads(
+    benchmark: Benchmark,
+    query_tables: Sequence[Table],
+    tuple_encoder: TupleEncoder,
+    *,
+    search_service: "QueryService | None" = None,
+    num_search_tables: int = 10,
+    **workload_kwargs,
+) -> dict[str, QueryWorkload]:
+    """Build the workloads of several query tables, name-keyed.
+
+    With a ``search_service``, the whole workload's top-k searches run first
+    through :meth:`~repro.serving.QueryService.search_many` (parallel, cached)
+    so the per-query preparation below is served from the result cache.
+    """
+    queries = list(query_tables)
+    if search_service is not None:
+        search_service.search_many(queries, num_search_tables)
+    return {
+        query.name: prepare_query_workload(
+            benchmark,
+            query,
+            tuple_encoder,
+            search_service=search_service,
+            num_search_tables=num_search_tables,
+            **workload_kwargs,
+        )
+        for query in queries
+    }

@@ -3,11 +3,20 @@
 from __future__ import annotations
 
 import abc
+import hashlib
+import json
 from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
 
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.utils.errors import SearchError
+
+#: JSON-serializable index metadata + named numpy payloads, as produced by
+#: :meth:`TableUnionSearcher.index_state` and consumed by ``load_index_state``.
+IndexState = tuple[dict, dict[str, np.ndarray]]
 
 
 @dataclass(frozen=True)
@@ -36,11 +45,17 @@ class TableUnionSearcher(abc.ABC):
         """Build implementation-specific index structures for ``lake``."""
 
     def index(self, lake: DataLake) -> "TableUnionSearcher":
-        """Index ``lake`` for subsequent searches."""
+        """Index ``lake`` for subsequent searches.
+
+        ``self._lake`` is assigned only after :meth:`_build_index` succeeds,
+        so a failed build leaves the searcher cleanly un-indexed
+        (``is_indexed`` stays ``False``) instead of claiming an index it does
+        not have.
+        """
         if lake.num_tables == 0:
             raise SearchError("cannot index an empty data lake")
-        self._lake = lake
         self._build_index(lake)
+        self._lake = lake
         return self
 
     @property
@@ -54,6 +69,70 @@ class TableUnionSearcher(abc.ABC):
     def is_indexed(self) -> bool:
         """Whether :meth:`index` has been called."""
         return self._lake is not None
+
+    # --------------------------------------------------- index serialization
+    #: Bump in a subclass whenever its serialized index layout changes; the
+    #: version participates in :meth:`config_fingerprint`, so stale persisted
+    #: entries become store misses instead of deserialization errors.
+    INDEX_FORMAT_VERSION = 1
+
+    def config_state(self) -> dict[str, Any]:
+        """JSON-serializable constructor configuration of this searcher.
+
+        Everything that changes what :meth:`_build_index` or search would
+        compute must appear here — it is part of the persisted-index key.
+        """
+        return {}
+
+    def config_fingerprint(self) -> str:
+        """Stable hex digest of (class, index format version, configuration)."""
+        payload = json.dumps(
+            {
+                "class": type(self).__name__,
+                "format": self.INDEX_FORMAT_VERSION,
+                "config": self.config_state(),
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _index_state(self) -> IndexState:
+        """Implementation hook: dump the built index as (metadata, arrays)."""
+        raise SearchError(
+            f"{type(self).__name__} does not support index serialization"
+        )
+
+    def _load_index_state(
+        self, lake: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Implementation hook: restore index structures dumped by ``_index_state``."""
+        raise SearchError(
+            f"{type(self).__name__} does not support index serialization"
+        )
+
+    def index_state(self) -> IndexState:
+        """Dump the built index as a JSON-serializable dict plus numpy payloads.
+
+        The returned pair round-trips through :meth:`load_index_state` to a
+        searcher whose results are bit-identical to one freshly indexed on the
+        same lake.  Requires :meth:`index` to have been called.
+        """
+        if not self.is_indexed:
+            raise SearchError(
+                f"{type(self).__name__}.index_state() called before index()"
+            )
+        return self._index_state()
+
+    def load_index_state(
+        self, lake: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> "TableUnionSearcher":
+        """Restore a previously dumped index for ``lake`` without rebuilding it."""
+        if lake.num_tables == 0:
+            raise SearchError("cannot load an index for an empty data lake")
+        self._load_index_state(lake, state, arrays)
+        self._lake = lake
+        return self
 
     # ----------------------------------------------------------------- search
     @abc.abstractmethod

@@ -9,7 +9,9 @@ those five signal families over the library's own substrates.
 from __future__ import annotations
 
 import re
+import threading
 from collections import Counter
+from typing import Mapping
 
 import numpy as np
 
@@ -17,8 +19,9 @@ from repro.datalake.lake import DataLake
 from repro.datalake.profile import ColumnProfile, profile_column
 from repro.datalake.table import Table
 from repro.embeddings.word import FastTextLikeModel
-from repro.search.base import TableUnionSearcher
+from repro.search.base import IndexState, TableUnionSearcher
 from repro.search.overlap import column_token_set
+from repro.utils.errors import SearchError
 from repro.utils.text import is_null, normalize_text
 
 _FORMAT_PATTERNS: tuple[tuple[str, re.Pattern[str]], ...] = (
@@ -107,6 +110,7 @@ class D3LSearcher(TableUnionSearcher):
         self._token_sets: dict[str, dict[str, set[str]]] = {}
         self._formats: dict[str, dict[str, Counter[str]]] = {}
         self._embeddings: dict[str, dict[str, np.ndarray]] = {}
+        self._query_memo = threading.local()
 
     # ------------------------------------------------------------------ index
     def _column_embedding(self, table: Table, column: str) -> np.ndarray:
@@ -133,7 +137,118 @@ class D3LSearcher(TableUnionSearcher):
                     table, column
                 )
 
+    # ----------------------------------------------------- index serialization
+    def config_state(self) -> dict:
+        return {"signal_weights": self.signal_weights}
+
+    def _index_state(self) -> IndexState:
+        tables: list[dict] = []
+        vectors: list[np.ndarray] = []
+        profiles: dict[str, dict[str, dict]] = {}
+        token_sets: dict[str, dict[str, list[str]]] = {}
+        formats: dict[str, dict[str, dict[str, int]]] = {}
+        for name, columns in self._embeddings.items():
+            tables.append({"name": name, "columns": list(columns)})
+            vectors.extend(columns.values())
+            profiles[name] = {
+                column: profile.to_state()
+                for column, profile in self._profiles[name].items()
+            }
+            token_sets[name] = {
+                column: sorted(tokens)
+                for column, tokens in self._token_sets[name].items()
+            }
+            formats[name] = {
+                column: dict(histogram)
+                for column, histogram in self._formats[name].items()
+            }
+        dimension = self._word_model.info.dimension
+        matrix = (
+            np.vstack(vectors)
+            if vectors
+            else np.zeros((0, dimension), dtype=np.float64)
+        )
+        state = {
+            "tables": tables,
+            "profiles": profiles,
+            "token_sets": token_sets,
+            "formats": formats,
+        }
+        return state, {"embeddings": matrix}
+
+    def _load_index_state(
+        self, lake: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        matrix = np.asarray(arrays["embeddings"], dtype=np.float64)
+        expected = sum(len(entry["columns"]) for entry in state["tables"])
+        if expected != matrix.shape[0]:
+            raise SearchError(
+                f"D3L index state lists {expected} columns but the embedding "
+                f"matrix has {matrix.shape[0]} rows"
+            )
+        self._profiles, self._token_sets = {}, {}
+        self._formats, self._embeddings = {}, {}
+        row = 0
+        for entry in state["tables"]:
+            name, columns = entry["name"], entry["columns"]
+            self._profiles[name] = {
+                column: ColumnProfile.from_state(state["profiles"][name][column])
+                for column in columns
+            }
+            self._token_sets[name] = {
+                column: set(state["token_sets"][name][column]) for column in columns
+            }
+            self._formats[name] = {
+                column: Counter(
+                    {
+                        fmt: int(count)
+                        for fmt, count in state["formats"][name][column].items()
+                    }
+                )
+                for column in columns
+            }
+            self._embeddings[name] = {
+                column: matrix[row + offset] for offset, column in enumerate(columns)
+            }
+            row += len(columns)
+
     # ---------------------------------------------------------------- scoring
+    def _query_column_signals(
+        self, query_table: Table
+    ) -> dict[str, tuple[ColumnProfile, set[str], Counter[str], np.ndarray]]:
+        """Query-side signal inputs, computed once per query table.
+
+        The base class scores the query against every lake table; without this
+        one-entry thread-local memo the query columns' profiles, token sets,
+        format histograms and embeddings would be recomputed once per
+        (lake table, lake column) pair.  The memo is keyed by object identity
+        plus the table's (cached) content fingerprint — the identity check
+        keeps the per-pair cost O(1) while in-place mutation via
+        ``append_rows`` still invalidates the entry.
+        """
+        cached = getattr(self._query_memo, "entry", None)
+        if (
+            cached is not None
+            and cached[0] is query_table
+            and cached[1] == query_table.content_fingerprint()
+        ):
+            return cached[2]
+        signals = {
+            column: (
+                profile_column(query_table, column),
+                column_token_set(query_table, column),
+                format_histogram(query_table.column_values(column)),
+                self._column_embedding(query_table, column),
+            )
+            for column in query_table.columns
+        }
+        self._query_memo.entry = (
+            query_table,
+            query_table.content_fingerprint(),
+            signals,
+        )
+        return signals
+
     def _column_pair_score(
         self,
         query_table: Table,
@@ -141,10 +256,11 @@ class D3LSearcher(TableUnionSearcher):
         lake_table_name: str,
         lake_column: str,
     ) -> float:
-        query_profile = profile_column(query_table, query_column)
+        query_profile, query_tokens, query_formats, query_embedding = (
+            self._query_column_signals(query_table)[query_column]
+        )
         lake_profile = self._profiles[lake_table_name][lake_column]
 
-        query_tokens = column_token_set(query_table, query_column)
         lake_tokens = self._token_sets[lake_table_name][lake_column]
         union = query_tokens | lake_tokens
         value_overlap = len(query_tokens & lake_tokens) / len(union) if union else 0.0
@@ -153,12 +269,11 @@ class D3LSearcher(TableUnionSearcher):
             "name": _name_similarity(query_column, lake_column),
             "values": value_overlap,
             "format": _histogram_similarity(
-                format_histogram(query_table.column_values(query_column)),
+                query_formats,
                 self._formats[lake_table_name][lake_column],
             ),
             "embedding": float(
-                self._column_embedding(query_table, query_column)
-                @ self._embeddings[lake_table_name][lake_column]
+                query_embedding @ self._embeddings[lake_table_name][lake_column]
             ),
             "distribution": _distribution_similarity(query_profile, lake_profile),
         }

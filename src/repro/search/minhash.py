@@ -100,13 +100,25 @@ class MinHashLSHIndex:
 
     def add(self, key: str, tokens: Iterable[str]) -> MinHashSignature:
         """Add a keyed token set to the index and return its signature."""
+        return self.add_signature(key, self.hasher.signature(tokens))
+
+    def add_signature(self, key: str, signature: MinHashSignature) -> MinHashSignature:
+        """Add a precomputed signature (used when restoring a persisted index)."""
         if key in self._signatures:
             raise SearchError(f"key {key!r} already present in the LSH index")
-        signature = self.hasher.signature(tokens)
+        if len(signature.values) != self.hasher.num_hashes:
+            raise SearchError(
+                f"signature length {len(signature.values)} does not match the "
+                f"index's {self.hasher.num_hashes} hash functions"
+            )
         self._signatures[key] = signature
         for band, band_values in enumerate(self._bands(signature)):
             self._buckets[band].setdefault(band_values, set()).add(key)
         return signature
+
+    def keys(self) -> list[str]:
+        """Indexed keys in insertion order."""
+        return list(self._signatures)
 
     def __contains__(self, key: str) -> bool:
         return key in self._signatures

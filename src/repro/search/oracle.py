@@ -9,11 +9,15 @@ ground-truth unionable tables for a query, ranked by value overlap so the
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
-from repro.search.base import TableUnionSearcher
+from repro.search.base import IndexState, TableUnionSearcher
 from repro.search.overlap import column_token_set
 from repro.utils.errors import SearchError
 
@@ -45,6 +49,26 @@ class OracleSearcher(TableUnionSearcher):
             raise SearchError(
                 f"ground truth references tables absent from the lake: {sorted(missing)[:5]}"
             )
+
+    # ----------------------------------------------------- index serialization
+    def config_state(self) -> dict:
+        # The ground truth *is* the oracle's configuration: two oracles with
+        # different labels must map to different persisted-index entries.
+        digest = hashlib.sha256(
+            json.dumps(self._ground_truth, sort_keys=True).encode()
+        ).hexdigest()
+        return {"ground_truth_digest": digest}
+
+    def _index_state(self) -> IndexState:
+        return {"ground_truth": self._ground_truth}, {}
+
+    def _load_index_state(
+        self, lake: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        self._ground_truth = {
+            query: list(tables) for query, tables in state["ground_truth"].items()
+        }
+        self._build_index(lake)  # re-run the referenced-tables validation
 
     def unionable_tables(self, query_name: str) -> list[str]:
         """Ground-truth unionable table names for ``query_name`` (empty if unknown)."""

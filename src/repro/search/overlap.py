@@ -9,10 +9,16 @@ signal of the original TUS system, accelerated with MinHash/LSH.
 
 from __future__ import annotations
 
+import threading
+from typing import Mapping
+
+import numpy as np
+
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
-from repro.search.base import TableUnionSearcher
-from repro.search.minhash import MinHashLSHIndex
+from repro.search.base import IndexState, TableUnionSearcher
+from repro.search.minhash import MinHashLSHIndex, MinHashSignature
+from repro.utils.errors import SearchError
 from repro.utils.text import is_null, normalize_text
 
 
@@ -51,6 +57,62 @@ class ValueOverlapSearcher(TableUnionSearcher):
         self.min_column_overlap = min_column_overlap
         self._index: MinHashLSHIndex | None = None
         self._columns_by_table: dict[str, list[str]] = {}
+        #: (num_lake_columns, num_hashes) int64 stack of all lake signatures
+        #: plus each table's row positions in it, built by _finalize_matrix.
+        self._signature_matrix: np.ndarray | None = None
+        self._table_rows: dict[str, np.ndarray] = {}
+        self._query_memo = threading.local()
+
+    def _finalize_matrix(self) -> None:
+        """Stack every lake column signature into one matrix for fast scoring."""
+        assert self._index is not None
+        keys = self._index.keys()
+        self._signature_matrix = np.array(
+            [self._index.signature_of(key).values for key in keys], dtype=np.int64
+        ).reshape(len(keys), self.num_hashes)
+        key_to_row = {key: row for row, key in enumerate(keys)}
+        self._table_rows = {
+            table: np.array([key_to_row[key] for key in columns], dtype=np.intp)
+            for table, columns in self._columns_by_table.items()
+        }
+        self._query_memo = threading.local()
+
+    def _query_matches(self, query_table: Table) -> list[np.ndarray | None]:
+        """Per query column: MinHash match counts against every lake column.
+
+        One-entry thread-local memo keyed by object identity plus the table's
+        (cached) content fingerprint, so in-place mutation via ``append_rows``
+        invalidates it: the base class scores the query against every lake
+        table, and these counts depend only on the query and the (fixed) lake
+        matrix.  Each entry is a ``(num_lake_columns,)`` int array — the
+        estimated Jaccard to lake column ``j`` is ``matches[j] / num_hashes``,
+        exactly the arithmetic of :meth:`MinHashSignature.jaccard`.  Empty
+        query columns map to ``None``.
+        """
+        assert self._signature_matrix is not None
+        cached = getattr(self._query_memo, "entry", None)
+        if (
+            cached is not None
+            and cached[0] is query_table
+            and cached[1] == query_table.content_fingerprint()
+        ):
+            return cached[2]
+        matches: list[np.ndarray | None] = []
+        for column in query_table.columns:
+            tokens = column_token_set(query_table, column)
+            if not tokens:
+                matches.append(None)
+                continue
+            signature = np.array(
+                self._index.hasher.signature(tokens).values, dtype=np.int64
+            )
+            matches.append((self._signature_matrix == signature).sum(axis=1))
+        self._query_memo.entry = (
+            query_table,
+            query_table.content_fingerprint(),
+            matches,
+        )
+        return matches
 
     # ------------------------------------------------------------------ index
     def _build_index(self, lake: DataLake) -> None:
@@ -63,24 +125,67 @@ class ValueOverlapSearcher(TableUnionSearcher):
                 self._index.add(key, column_token_set(table, column))
                 keys.append(key)
             self._columns_by_table[table.name] = keys
+        self._finalize_matrix()
+
+    # ----------------------------------------------------- index serialization
+    def config_state(self) -> dict:
+        return {
+            "num_hashes": self.num_hashes,
+            "num_bands": self.num_bands,
+            "min_column_overlap": self.min_column_overlap,
+        }
+
+    def _index_state(self) -> IndexState:
+        assert self._index is not None  # guaranteed by TableUnionSearcher.index
+        keys = self._index.keys()
+        signatures = np.array(
+            [self._index.signature_of(key).values for key in keys], dtype=np.int64
+        ).reshape(len(keys), self.num_hashes)
+        state = {
+            "num_hashes": self.num_hashes,
+            "num_bands": self.num_bands,
+            "keys": keys,
+            "columns_by_table": self._columns_by_table,
+        }
+        return state, {"signatures": signatures}
+
+    def _load_index_state(
+        self, lake: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        if (
+            int(state["num_hashes"]) != self.num_hashes
+            or int(state["num_bands"]) != self.num_bands
+        ):
+            raise SearchError(
+                "persisted MinHash configuration "
+                f"({state['num_hashes']}/{state['num_bands']} hashes/bands) does "
+                f"not match this searcher ({self.num_hashes}/{self.num_bands})"
+            )
+        signatures = np.asarray(arrays["signatures"], dtype=np.int64)
+        index = MinHashLSHIndex(self.num_hashes, self.num_bands)
+        for key, row in zip(state["keys"], signatures):
+            index.add_signature(
+                key, MinHashSignature(values=tuple(int(value) for value in row))
+            )
+        self._index = index
+        self._columns_by_table = {
+            table: list(columns)
+            for table, columns in state["columns_by_table"].items()
+        }
+        self._finalize_matrix()
 
     # ----------------------------------------------------------------- search
     def _score_table(self, query_table: Table, lake_table: Table) -> float:
         assert self._index is not None  # guaranteed by TableUnionSearcher.index
-        lake_keys = self._columns_by_table.get(lake_table.name, [])
-        if not lake_keys or query_table.num_columns == 0:
+        rows = self._table_rows.get(lake_table.name)
+        if rows is None or rows.size == 0 or query_table.num_columns == 0:
             return 0.0
         total = 0.0
-        for query_column in query_table.columns:
-            tokens = column_token_set(query_table, query_column)
-            if not tokens:
+        for matches in self._query_matches(query_table):
+            if matches is None:
                 continue
-            signature = self._index.hasher.signature(tokens)
-            best = 0.0
-            for key in lake_keys:
-                overlap = signature.jaccard(self._index.signature_of(key))
-                if overlap > best:
-                    best = overlap
+            # int matches / num_hashes is exactly MinHashSignature.jaccard.
+            best = matches[rows].max() / self.num_hashes
             if best >= self.min_column_overlap:
                 total += best
         return total / query_table.num_columns

@@ -10,12 +10,16 @@ paired values.
 
 from __future__ import annotations
 
+import threading
+from typing import Mapping
+
 import numpy as np
 
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.embeddings.word import FastTextLikeModel
-from repro.search.base import TableUnionSearcher
+from repro.search.base import IndexState, TableUnionSearcher
+from repro.utils.errors import SearchError
 from repro.utils.text import is_null
 
 
@@ -45,6 +49,39 @@ class SantosSearcher(TableUnionSearcher):
         self._word_model = FastTextLikeModel()
         self._column_vectors: dict[str, dict[str, np.ndarray]] = {}
         self._relationship_vectors: dict[str, dict[tuple[str, str], np.ndarray]] = {}
+        self._query_memo = threading.local()
+
+    def _query_vectors(
+        self, query_table: Table
+    ) -> tuple[dict[str, np.ndarray], dict[tuple[str, str], np.ndarray]]:
+        """Query column + relationship embeddings, computed once per query.
+
+        One-entry thread-local memo keyed by object identity plus the table's
+        (cached) content fingerprint (so ``append_rows`` invalidates it): the
+        base class calls :meth:`_score_table` once per lake table, and
+        without the memo the (quadratic-in-columns) relationship embeddings
+        of the query would be re-derived for every candidate.
+        """
+        cached = getattr(self._query_memo, "entry", None)
+        if (
+            cached is not None
+            and cached[0] is query_table
+            and cached[1] == query_table.content_fingerprint()
+        ):
+            return cached[2]
+        vectors = (
+            {
+                column: self._column_vector(query_table, column)
+                for column in query_table.columns
+            },
+            self._table_relationships(query_table),
+        )
+        self._query_memo.entry = (
+            query_table,
+            query_table.content_fingerprint(),
+            vectors,
+        )
+        return vectors
 
     # -------------------------------------------------------------- embeddings
     def _column_vector(self, table: Table, column: str) -> np.ndarray:
@@ -90,6 +127,75 @@ class SantosSearcher(TableUnionSearcher):
             table.name: self._table_relationships(table) for table in lake
         }
 
+    # ----------------------------------------------------- index serialization
+    def config_state(self) -> dict:
+        return {
+            "column_weight": self.column_weight,
+            "max_value_pairs": self.max_value_pairs,
+            "max_relationship_columns": self.max_relationship_columns,
+        }
+
+    def _index_state(self) -> IndexState:
+        tables: list[dict] = []
+        column_vectors: list[np.ndarray] = []
+        relationship_vectors: list[np.ndarray] = []
+        for name, columns in self._column_vectors.items():
+            relationships = self._relationship_vectors.get(name, {})
+            tables.append(
+                {
+                    "name": name,
+                    "columns": list(columns),
+                    "relationships": [list(pair) for pair in relationships],
+                }
+            )
+            column_vectors.extend(columns.values())
+            relationship_vectors.extend(relationships.values())
+        dimension = self._word_model.info.dimension
+
+        def stack(vectors: list[np.ndarray]) -> np.ndarray:
+            if not vectors:
+                return np.zeros((0, dimension), dtype=np.float64)
+            return np.vstack(vectors)
+
+        arrays = {
+            "column_vectors": stack(column_vectors),
+            "relationship_vectors": stack(relationship_vectors),
+        }
+        return {"tables": tables}, arrays
+
+    def _load_index_state(
+        self, lake: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        columns_matrix = np.asarray(arrays["column_vectors"], dtype=np.float64)
+        relationships_matrix = np.asarray(
+            arrays["relationship_vectors"], dtype=np.float64
+        )
+        expected_columns = sum(len(entry["columns"]) for entry in state["tables"])
+        expected_relationships = sum(
+            len(entry["relationships"]) for entry in state["tables"]
+        )
+        if (
+            expected_columns != columns_matrix.shape[0]
+            or expected_relationships != relationships_matrix.shape[0]
+        ):
+            raise SearchError(
+                "SANTOS index state row counts do not match its vector payloads"
+            )
+        self._column_vectors, self._relationship_vectors = {}, {}
+        column_row = relationship_row = 0
+        for entry in state["tables"]:
+            name = entry["name"]
+            self._column_vectors[name] = {
+                column: columns_matrix[column_row + offset]
+                for offset, column in enumerate(entry["columns"])
+            }
+            column_row += len(entry["columns"])
+            self._relationship_vectors[name] = {
+                (first, second): relationships_matrix[relationship_row + offset]
+                for offset, (first, second) in enumerate(entry["relationships"])
+            }
+            relationship_row += len(entry["relationships"])
+
     # ----------------------------------------------------------------- scoring
     @staticmethod
     def _best_similarity(query_vector: np.ndarray, candidates: list[np.ndarray]) -> float:
@@ -108,16 +214,17 @@ class SantosSearcher(TableUnionSearcher):
             }
             lake_relationships = self._table_relationships(lake_table)
 
+        query_column_vectors, query_relationships = self._query_vectors(query_table)
+
         # Column-semantics component.
         column_scores = []
         lake_column_list = list(lake_columns.values())
         for query_column in query_table.columns:
-            query_vector = self._column_vector(query_table, query_column)
+            query_vector = query_column_vectors[query_column]
             column_scores.append(self._best_similarity(query_vector, lake_column_list))
         column_score = float(np.mean(column_scores)) if column_scores else 0.0
 
         # Relationship component.
-        query_relationships = self._table_relationships(query_table)
         relationship_scores = []
         lake_relationship_list = list(lake_relationships.values())
         for query_vector in query_relationships.values():

@@ -9,6 +9,9 @@ every data lake *tuple* as a single-row table and return the top-k tuples.
 
 from __future__ import annotations
 
+import threading
+from typing import Mapping
+
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
@@ -17,7 +20,7 @@ from repro.datalake.table import Table
 from repro.embeddings.column import StarmieColumnEncoder
 from repro.embeddings.contextual import RobertaLikeModel
 from repro.embeddings.serialization import AlignedTuple
-from repro.search.base import SearchResult, TableUnionSearcher
+from repro.search.base import IndexState, SearchResult, TableUnionSearcher
 from repro.utils.errors import SearchError
 
 
@@ -34,6 +37,7 @@ class StarmieSearcher(TableUnionSearcher):
         self.column_encoder = column_encoder or StarmieColumnEncoder(RobertaLikeModel())
         self.min_similarity = min_similarity
         self._column_embeddings: dict[str, dict[str, np.ndarray]] = {}
+        self._query_memo = threading.local()
 
     # ------------------------------------------------------------------ index
     def _build_index(self, lake: DataLake) -> None:
@@ -41,9 +45,75 @@ class StarmieSearcher(TableUnionSearcher):
         self._column_embeddings = {
             table.name: self.column_encoder.encode_table_columns(table) for table in lake
         }
+        # Query embeddings depend on the fitted TF-IDF state: drop every
+        # thread's memo whenever the index (and thus that state) changes.
+        self._query_memo = threading.local()
 
     def _query_embeddings(self, query_table: Table) -> dict[str, np.ndarray]:
-        return self.column_encoder.encode_table_columns(query_table)
+        # The base class scores the query against every lake table through
+        # _score_table; memoise the query-side encoding (one entry, keyed by
+        # object identity plus the cached content fingerprint so in-place
+        # append_rows invalidates it, thread-local) so it is computed once
+        # per query instead of once per candidate table.
+        cached = getattr(self._query_memo, "entry", None)
+        if (
+            cached is not None
+            and cached[0] is query_table
+            and cached[1] == query_table.content_fingerprint()
+        ):
+            return cached[2]
+        embeddings = self.column_encoder.encode_table_columns(query_table)
+        self._query_memo.entry = (
+            query_table,
+            query_table.content_fingerprint(),
+            embeddings,
+        )
+        return embeddings
+
+    # ----------------------------------------------------- index serialization
+    def config_state(self) -> dict:
+        return {
+            "min_similarity": self.min_similarity,
+            "encoder": self.column_encoder.info.name,
+            "table_context_weight": self.column_encoder.table_context_weight,
+        }
+
+    def _index_state(self) -> IndexState:
+        tables: list[dict] = []
+        vectors: list[np.ndarray] = []
+        for name, columns in self._column_embeddings.items():
+            tables.append({"name": name, "columns": list(columns)})
+            vectors.extend(columns.values())
+        dimension = self.column_encoder.info.dimension
+        matrix = (
+            np.vstack(vectors)
+            if vectors
+            else np.zeros((0, dimension), dtype=np.float64)
+        )
+        state = {"tables": tables, "tfidf": self.column_encoder.fit_state()}
+        return state, {"column_embeddings": matrix}
+
+    def _load_index_state(
+        self, lake: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        self._query_memo = threading.local()
+        self.column_encoder.load_fit_state(state["tfidf"])
+        matrix = np.asarray(arrays["column_embeddings"], dtype=np.float64)
+        expected = sum(len(entry["columns"]) for entry in state["tables"])
+        if expected != matrix.shape[0]:
+            raise SearchError(
+                f"Starmie index state lists {expected} columns but the "
+                f"embedding matrix has {matrix.shape[0]} rows"
+            )
+        embeddings: dict[str, dict[str, np.ndarray]] = {}
+        row = 0
+        for entry in state["tables"]:
+            embeddings[entry["name"]] = {
+                column: matrix[row + offset]
+                for offset, column in enumerate(entry["columns"])
+            }
+            row += len(entry["columns"])
+        self._column_embeddings = embeddings
 
     # ----------------------------------------------------------------- scoring
     def _bipartite_score(

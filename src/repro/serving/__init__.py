@@ -1,0 +1,19 @@
+"""Index persistence and parallel multi-query search serving.
+
+``repro.serving`` turns the per-process searchers of ``repro.search`` into a
+build-once/serve-many system:
+
+* :class:`~repro.serving.store.IndexStore` — persists each backend's built
+  lake index to disk (versioned manifest, checksum-validated payloads) keyed
+  by backend configuration and lake content fingerprints.
+* :class:`~repro.serving.service.QueryService` — executes multi-query
+  workloads in parallel with a bounded LRU result cache, returning rankings
+  bit-identical to direct in-process search.
+* ``python -m repro.serving.warm`` — pre-builds and stores the indexes of a
+  benchmark lake (used by the CI bench-smoke job).
+"""
+
+from repro.serving.store import IndexStore, STORE_FORMAT_VERSION
+from repro.serving.service import QueryService
+
+__all__ = ["IndexStore", "QueryService", "STORE_FORMAT_VERSION"]

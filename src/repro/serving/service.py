@@ -1,0 +1,316 @@
+"""Parallel multi-query search serving with a bounded LRU result cache.
+
+:class:`QueryService` wraps one indexed
+:class:`~repro.search.base.TableUnionSearcher` and serves multi-query
+workloads:
+
+* **Parallelism** — :meth:`search_many` partitions the queries into chunks
+  and scores the chunks concurrently.  The default (``parallelism="auto"``)
+  uses forked worker *processes* where the platform supports it: table
+  scoring is Python-loop-heavy, so threads would serialize on the GIL, while
+  forked children inherit the built index for free (no pickling, no rebuild)
+  and return only the small ranked-result lists.  Results always come back in
+  input order, and each query runs the exact same single-query code path as
+  :meth:`TableUnionSearcher.search`, so served rankings are bit-identical to
+  direct in-process search.
+* **Caching** — results are memoised in a bounded LRU keyed by
+  ``(backend config fingerprint, lake fingerprint, query fingerprint, k)``.
+  The key is pure content, so repeated queries — within a run or across
+  :meth:`warm` cycles on the same lake — are served from memory.
+* **Persistence** — give the service an
+  :class:`~repro.serving.store.IndexStore` and :meth:`warm` restores the
+  lake's index from disk instead of rebuilding it (building and persisting on
+  first contact).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Sequence
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.search.base import SearchResult, TableUnionSearcher
+from repro.serving.store import IndexStore
+from repro.utils.errors import ServingError
+
+#: Cache key: (backend config fingerprint, lake fingerprint, query fingerprint, k).
+CacheKey = tuple[str, str, str, int]
+
+#: Searcher inherited by forked worker processes (set just before forking).
+_FORK_SEARCHER: TableUnionSearcher | None = None
+#: Serializes forked fan-outs so concurrent services cannot race on the
+#: inherited-searcher slot between assignment and fork.
+_FORK_LOCK = threading.Lock()
+
+
+def _serve_fork_chunk(chunk_and_k: tuple[list[Table], int]) -> list[list[SearchResult]]:
+    """Score one chunk inside a forked worker against the inherited index."""
+    chunk, k = chunk_and_k
+    assert _FORK_SEARCHER is not None  # set in the parent before the fork
+    return [_FORK_SEARCHER.search(query, k) for query in chunk]
+
+
+class QueryService:
+    """Serves top-k searches for one backend with caching and parallelism."""
+
+    def __init__(
+        self,
+        searcher: TableUnionSearcher,
+        *,
+        store: IndexStore | None = None,
+        max_workers: int | None = None,
+        chunk_size: int = 8,
+        cache_size: int = 1024,
+        parallelism: str = "auto",
+        parallel_min_seconds: float = 1.0,
+    ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ServingError(f"max_workers must be positive, got {max_workers}")
+        if chunk_size <= 0:
+            raise ServingError(f"chunk_size must be positive, got {chunk_size}")
+        if cache_size < 0:
+            raise ServingError(f"cache_size must be non-negative, got {cache_size}")
+        if parallel_min_seconds < 0:
+            raise ServingError(
+                f"parallel_min_seconds must be non-negative, got {parallel_min_seconds}"
+            )
+        if parallelism not in ("auto", "process", "thread", "serial"):
+            raise ServingError(
+                f"parallelism must be auto/process/thread/serial, got {parallelism!r}"
+            )
+        self.searcher = searcher
+        self.store = store
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.cache_size = cache_size
+        self.parallel_min_seconds = parallel_min_seconds
+        if parallelism == "auto":
+            parallelism = (
+                "process"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "thread"
+            )
+        self.parallelism = parallelism
+        self._cache: OrderedDict[CacheKey, list[SearchResult]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._backend_fingerprint = searcher.config_fingerprint()
+        self._lake_fingerprint = (
+            searcher.lake.fingerprint() if searcher.is_indexed else None
+        )
+
+    # ------------------------------------------------------------------ warm
+    def warm(self, lake: DataLake) -> "QueryService":
+        """Index ``lake`` (through the store when one is configured).
+
+        With a store, the lake's persisted index is loaded when present and
+        built + persisted otherwise; without one the searcher indexes
+        in-process.  Warming onto a different lake resets the result cache.
+        """
+        if self.store is not None:
+            self.store.load_or_build(self.searcher, lake)
+        else:
+            self.searcher.index(lake)
+        fingerprint = lake.fingerprint()
+        with self._lock:
+            if fingerprint != self._lake_fingerprint:
+                self._cache.clear()
+            self._lake_fingerprint = fingerprint
+        return self
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether the underlying searcher holds a lake index."""
+        return self.searcher.is_indexed
+
+    # ----------------------------------------------------------------- search
+    def _key(self, query_table: Table, k: int) -> CacheKey:
+        if self._lake_fingerprint is None:
+            raise ServingError("QueryService used before warm()/an indexed searcher")
+        return (
+            self._backend_fingerprint,
+            self._lake_fingerprint,
+            query_table.content_fingerprint(),
+            int(k),
+        )
+
+    def _cache_put(self, key: CacheKey, results: list[SearchResult]) -> None:
+        """Record a miss and insert into the bounded LRU.  Caller holds the lock."""
+        self._misses += 1
+        if self.cache_size > 0:
+            self._cache[key] = list(results)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    def search(self, query_table: Table, k: int) -> list[SearchResult]:
+        """Top-k search for one query, served from the LRU cache when possible."""
+        key = self._key(query_table, k)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return list(cached)
+        results = self.searcher.search(query_table, k)
+        with self._lock:
+            self._cache_put(key, results)
+        return list(results)
+
+    def search_many(
+        self, query_tables: Sequence[Table], k: int
+    ) -> list[list[SearchResult]]:
+        """Top-k search for every query, in parallel, in input order.
+
+        Queries are chunked (``chunk_size`` per task) so small workloads do
+        not pay one dispatch per query; results are reassembled in submission
+        order, so ``search_many(queries, k)[i]`` always equals
+        ``search(queries[i], k)``.  Cached queries are answered up front and
+        only the misses are dispatched to workers; every worker result is
+        written back to the cache.  One probe query is always served
+        in-process first — when the estimated remaining work is below
+        ``parallel_min_seconds`` the whole workload stays in-process, so tiny
+        workloads never pay worker startup.
+        """
+        queries = list(query_tables)
+        if not queries:
+            return []
+        workers = self.max_workers or max(
+            1, min(8, os.cpu_count() or 1, len(queries))
+        )
+
+        def finalize(
+            answers: list[list[SearchResult] | None],
+        ) -> list[list[SearchResult]]:
+            assert all(answer is not None for answer in answers)
+            return answers  # type: ignore[return-value]
+
+        # Serve cache hits immediately; collect the misses for the workers.
+        answers: list[list[SearchResult] | None] = [None] * len(queries)
+        pending: list[int] = []
+        with self._lock:
+            for position, query in enumerate(queries):
+                cached = self._cache.get(self._key(query, k))
+                if cached is not None:
+                    self._cache.move_to_end(self._key(query, k))
+                    self._hits += 1
+                    answers[position] = list(cached)
+                else:
+                    pending.append(position)
+
+        if (
+            workers <= 1
+            or len(pending) <= 1
+            or self.parallelism == "serial"
+        ):
+            for position in pending:
+                answers[position] = self.search(queries[position], k)
+            return finalize(answers)
+
+        # Probe: serve the first misses in-process to estimate the per-query
+        # cost, and skip the fan-out entirely when the remaining work would
+        # not amortise worker startup (fork + copy-on-write for processes,
+        # GIL contention for threads).  A second probe refines the estimate
+        # when the first one looks expensive — the first query also pays
+        # one-off warm-up costs (memo building, numpy initialisation) that
+        # would otherwise trigger unprofitable fan-outs.
+        per_query = float("inf")
+        for _ in range(2):
+            if not pending or per_query * len(pending) < self.parallel_min_seconds:
+                break
+            probe, pending = pending[0], pending[1:]
+            start = time.perf_counter()
+            answers[probe] = self.search(queries[probe], k)
+            per_query = min(per_query, time.perf_counter() - start)
+        if not pending or per_query * len(pending) < self.parallel_min_seconds:
+            for position in pending:
+                answers[position] = self.search(queries[position], k)
+            return finalize(answers)
+
+        # Cap the chunk size so the pending work spreads over all workers
+        # even when the configured chunk size is coarse.
+        per_worker = -(-len(pending) // workers)  # ceil division
+        effective_chunk = max(1, min(self.chunk_size, per_worker))
+        chunks = [
+            pending[start : start + effective_chunk]
+            for start in range(0, len(pending), effective_chunk)
+        ]
+        if self.parallelism == "process":
+            chunk_results = self._serve_chunks_forked(queries, chunks, k, workers)
+        else:
+            chunk_results = self._serve_chunks_threaded(queries, chunks, k, workers)
+
+        with self._lock:
+            for chunk, results in zip(chunks, chunk_results):
+                for position, result in zip(chunk, results):
+                    answers[position] = list(result)
+                    self._cache_put(self._key(queries[position], k), result)
+        return finalize(answers)
+
+    def _serve_chunks_forked(
+        self,
+        queries: list[Table],
+        chunks: list[list[int]],
+        k: int,
+        workers: int,
+    ) -> list[list[list[SearchResult]]]:
+        """Score chunks in forked processes that inherit the built index."""
+        global _FORK_SEARCHER
+        context = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_SEARCHER = self.searcher
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(chunks)), mp_context=context
+                ) as pool:
+                    return list(
+                        pool.map(
+                            _serve_fork_chunk,
+                            [
+                                ([queries[position] for position in chunk], k)
+                                for chunk in chunks
+                            ],
+                        )
+                    )
+            finally:
+                _FORK_SEARCHER = None
+
+    def _serve_chunks_threaded(
+        self,
+        queries: list[Table],
+        chunks: list[list[int]],
+        k: int,
+        workers: int,
+    ) -> list[list[list[SearchResult]]]:
+        """Thread fallback for platforms without fork (results still cached)."""
+
+        def serve_chunk(chunk: list[int]) -> list[list[SearchResult]]:
+            return [self.searcher.search(queries[position], k) for position in chunk]
+
+        with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+            return list(pool.map(serve_chunk, chunks))
+
+    def search_tables(self, query_table: Table, k: int) -> list[Table]:
+        """Like :meth:`search` but returning the lake tables themselves."""
+        return [
+            self.searcher.lake.get(result.table_name)
+            for result in self.search(query_table, k)
+        ]
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters and current cache size."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._cache),
+            }

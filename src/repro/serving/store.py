@@ -1,0 +1,185 @@
+"""Persistent, checksum-validated storage for built search indexes.
+
+Every :class:`~repro.search.base.TableUnionSearcher` can dump its built index
+as a JSON metadata dict plus named numpy arrays (``index_state()``) and
+restore it without touching the lake's cell values (``load_index_state()``).
+:class:`IndexStore` persists those dumps on disk so a data lake is indexed
+once and reused across runs *and* processes:
+
+```
+<root>/
+  <Backend>-<config_fp12>/          one directory per (class, config, format)
+    <lake_fp16>/                    one entry per lake content fingerprint
+      state.json                    JSON metadata payload
+      arrays.npz                    numpy payloads
+      manifest.json                 versions, fingerprints, payload checksums
+```
+
+The manifest is written last, so a crashed save never produces a loadable
+entry; both payload files are checksum-validated on load and any mismatch is
+reported as corruption rather than silently served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.datalake.lake import DataLake
+from repro.search.base import TableUnionSearcher
+from repro.utils.errors import IndexStoreMiss, SearchError, ServingError
+
+#: Bump when the on-disk layout of store entries changes.
+STORE_FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_STATE = "state.json"
+_ARRAYS = "arrays.npz"
+
+
+def _file_checksum(path: Path) -> str:
+    hasher = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+class IndexStore:
+    """A directory of persisted search indexes keyed by backend and lake."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------- addressing
+    def entry_dir(self, searcher: TableUnionSearcher, lake: DataLake) -> Path:
+        """Directory holding the persisted index of ``searcher`` over ``lake``."""
+        backend = f"{type(searcher).__name__}-{searcher.config_fingerprint()[:12]}"
+        return self.root / backend / lake.fingerprint()[:16]
+
+    def contains(self, searcher: TableUnionSearcher, lake: DataLake) -> bool:
+        """Whether a completed entry exists (no payload validation)."""
+        return (self.entry_dir(searcher, lake) / _MANIFEST).is_file()
+
+    # ------------------------------------------------------------------- save
+    def save(
+        self, searcher: TableUnionSearcher, lake: DataLake | None = None
+    ) -> Path:
+        """Persist ``searcher``'s built index; returns the entry directory.
+
+        Payload files are written first and the manifest last, so concurrent
+        or crashed writers can never leave a manifest pointing at missing
+        payloads.  Saving over an existing entry replaces it.
+        """
+        lake = lake if lake is not None else searcher.lake
+        state, arrays = searcher.index_state()
+        entry = self.entry_dir(searcher, lake)
+        entry.mkdir(parents=True, exist_ok=True)
+
+        manifest_path = entry / _MANIFEST
+        if manifest_path.exists():  # invalidate the old entry while replacing
+            manifest_path.unlink()
+
+        state_path, arrays_path = entry / _STATE, entry / _ARRAYS
+        state_path.write_text(json.dumps(state, sort_keys=True))
+        with arrays_path.open("wb") as handle:
+            np.savez(handle, **arrays)
+
+        manifest = {
+            "store_format": STORE_FORMAT_VERSION,
+            "backend_class": type(searcher).__name__,
+            "backend_config": searcher.config_state(),
+            "config_fingerprint": searcher.config_fingerprint(),
+            "index_format": searcher.INDEX_FORMAT_VERSION,
+            "lake_fingerprint": lake.fingerprint(),
+            "num_tables": lake.num_tables,
+            "checksums": {
+                _STATE: _file_checksum(state_path),
+                _ARRAYS: _file_checksum(arrays_path),
+            },
+        }
+        tmp_path = entry / f"{_MANIFEST}.tmp"
+        tmp_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        os.replace(tmp_path, manifest_path)
+        return entry
+
+    # ------------------------------------------------------------------- load
+    def load(
+        self, searcher: TableUnionSearcher, lake: DataLake
+    ) -> TableUnionSearcher:
+        """Restore ``searcher``'s index over ``lake`` from the store.
+
+        Raises :class:`IndexStoreMiss` when no entry exists (or the entry was
+        written for a different format/config/lake) and :class:`ServingError`
+        when an entry exists but fails checksum validation.
+        """
+        entry = self.entry_dir(searcher, lake)
+        manifest_path = entry / _MANIFEST
+        if not manifest_path.is_file():
+            raise IndexStoreMiss(
+                f"no persisted {type(searcher).__name__} index for lake "
+                f"{lake.name!r} under {self.root}"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServingError(f"unreadable index manifest {manifest_path}") from exc
+
+        if manifest.get("store_format") != STORE_FORMAT_VERSION:
+            raise IndexStoreMiss(
+                f"index entry {entry} uses store format "
+                f"{manifest.get('store_format')}, expected {STORE_FORMAT_VERSION}"
+            )
+        if manifest.get("config_fingerprint") != searcher.config_fingerprint():
+            raise IndexStoreMiss(
+                f"index entry {entry} was built with a different "
+                f"{type(searcher).__name__} configuration"
+            )
+        if manifest.get("lake_fingerprint") != lake.fingerprint():
+            raise IndexStoreMiss(
+                f"index entry {entry} was built for different lake contents"
+            )
+
+        for filename, expected in manifest.get("checksums", {}).items():
+            payload = entry / filename
+            if not payload.is_file() or _file_checksum(payload) != expected:
+                raise ServingError(
+                    f"persisted index payload {payload} is missing or corrupt "
+                    "(checksum mismatch)"
+                )
+
+        state = json.loads((entry / _STATE).read_text())
+        with np.load(entry / _ARRAYS) as payload:
+            arrays = {key: payload[key] for key in payload.files}
+        try:
+            searcher.load_index_state(lake, state, arrays)
+        except Exception as exc:
+            # Checksums passed but the payloads are mutually inconsistent
+            # (e.g. a layout change without an INDEX_FORMAT_VERSION bump).
+            # Surface it as corruption so load_or_build rebuilds the entry.
+            raise ServingError(
+                f"persisted index entry {entry} failed to deserialize: {exc}"
+            ) from exc
+        return searcher
+
+    def load_or_build(
+        self, searcher: TableUnionSearcher, lake: DataLake
+    ) -> TableUnionSearcher:
+        """Restore from the store when possible, otherwise build and persist.
+
+        Misses *and* corrupt entries fall back to a fresh build whose result
+        overwrites the bad entry, so a damaged store heals on next use.
+        """
+        try:
+            return self.load(searcher, lake)
+        except ServingError:  # miss or corruption
+            searcher.index(lake)
+            try:
+                self.save(searcher, lake)
+            except SearchError:
+                pass  # a backend without index_state() still serves in-process
+            return searcher

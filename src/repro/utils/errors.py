@@ -42,3 +42,11 @@ class SearchError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark generator was asked for an impossible configuration."""
+
+
+class ServingError(ReproError):
+    """An index store or query serving operation failed."""
+
+
+class IndexStoreMiss(ServingError):
+    """The index store has no (valid) entry for the requested backend/lake."""

@@ -1,6 +1,5 @@
 """Tests for column alignment (holistic, bipartite) and the outer union."""
 
-import numpy as np
 import pytest
 
 from repro.alignment import (

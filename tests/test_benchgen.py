@@ -1,6 +1,5 @@
 """Tests for the synthetic benchmark generators."""
 
-import numpy as np
 import pytest
 
 from repro.benchgen import (

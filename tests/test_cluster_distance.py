@@ -109,9 +109,10 @@ class TestDistanceProperties:
     def test_euclidean_triangle_inequality(self, data):
         dimension = data.draw(st.integers(min_value=1, max_value=5))
         element = st.floats(min_value=-20, max_value=20, allow_nan=False)
-        draw_vector = lambda: np.array(
-            data.draw(st.lists(element, min_size=dimension, max_size=dimension))
-        )
+        def draw_vector():
+            return np.array(
+                data.draw(st.lists(element, min_size=dimension, max_size=dimension))
+            )
         a, b, c = draw_vector(), draw_vector(), draw_vector()
         assert euclidean_distance(a, c) <= (
             euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-9

@@ -17,7 +17,7 @@ from repro.core import (
     rank_candidates_against_query,
 )
 from repro.core.reranking import top_k_candidates
-from repro.diversify import DiversificationRequest, MaxMinDiversifier
+from repro.diversify import DiversificationRequest
 from repro.utils.errors import ConfigurationError, DiversificationError
 
 

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import average_diversity, min_diversity
+from repro.core import average_diversity
 from repro.diversify import (
     CLTDiversifier,
     DiversificationRequest,

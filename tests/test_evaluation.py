@@ -1,7 +1,6 @@
 """Tests for the evaluation harness (alignment scoring, diversity experiments,
 workload preparation, case study)."""
 
-import numpy as np
 import pytest
 
 from repro.benchgen import generate_imdb_case_study, generate_ugen_benchmark

@@ -1,6 +1,5 @@
 """End-to-end integration tests of the DUST pipeline (Algorithm 1)."""
 
-import numpy as np
 import pytest
 
 from repro import DustPipeline, PipelineConfig, Table
@@ -61,15 +60,6 @@ class TestEndToEndPipeline:
         query = ugen_benchmark.query_tables[0]
         result = pipeline.run(query)
         scores = result.diversity()
-        # Compare against simply taking the first k candidate tuples (the
-        # "most unionable" prefix of the outer union).
-        searcher_tables = [
-            pipeline.searcher.lake.get(hit.table_name) for hit in result.search_results
-        ]
-        first_table = searcher_tables[0]
-        naive = [
-            row for row in first_table.rows[:12]
-        ]
         assert scores["average_diversity"] > 0.0
         assert scores["min_diversity"] >= 0.0
 

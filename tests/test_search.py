@@ -1,7 +1,6 @@
 """Tests for the table union search substrate (minhash, overlap, Starmie, D3L,
 SANTOS, oracle)."""
 
-import numpy as np
 import pytest
 
 from repro.benchgen import generate_ugen_benchmark
@@ -123,6 +122,20 @@ class TestValueOverlapSearcher:
         query, _ = tiny_lake
         with pytest.raises(SearchError):
             ValueOverlapSearcher().search(query, k=1)
+
+    def test_failed_build_does_not_claim_is_indexed(self, tiny_lake):
+        """Regression: index() must assign the lake only after _build_index
+        succeeds, so a failed build leaves the searcher cleanly un-indexed."""
+        _, lake = tiny_lake
+
+        class FailingSearcher(ValueOverlapSearcher):
+            def _build_index(self, lake):
+                raise SearchError("simulated index-build failure")
+
+        searcher = FailingSearcher()
+        with pytest.raises(SearchError):
+            searcher.index(lake)
+        assert not searcher.is_indexed
 
     def test_empty_lake_rejected(self):
         with pytest.raises(SearchError):

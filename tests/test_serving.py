@@ -1,0 +1,464 @@
+"""Tests for repro.serving: content fingerprints, the persistent index store,
+the parallel query service, and their wiring into the DUST pipeline."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.benchgen import generate_ugen_benchmark
+from repro.core import DustPipeline, PipelineConfig
+from repro.datalake import DataLake, Table
+from repro.embeddings.column import CellLevelColumnEncoder
+from repro.embeddings.word import FastTextLikeModel
+from repro.evaluation import prepare_query_workload, prepare_query_workloads
+from repro.search import (
+    D3LSearcher,
+    OracleSearcher,
+    SantosSearcher,
+    StarmieSearcher,
+    ValueOverlapSearcher,
+)
+from repro.serving import IndexStore, QueryService
+from repro.serving.warm import main as warm_main
+from repro.utils.errors import (
+    ConfigurationError,
+    IndexStoreMiss,
+    SearchError,
+    ServingError,
+)
+
+
+@pytest.fixture(scope="module")
+def small_benchmark():
+    return generate_ugen_benchmark(
+        num_queries=2,
+        unionable_per_query=4,
+        non_unionable_per_query=4,
+        rows_per_table=6,
+        seed=9,
+    )
+
+
+BACKEND_FACTORIES = {
+    "overlap": lambda benchmark: ValueOverlapSearcher(),
+    "starmie": lambda benchmark: StarmieSearcher(),
+    "d3l": lambda benchmark: D3LSearcher(),
+    "santos": lambda benchmark: SantosSearcher(),
+    "oracle": lambda benchmark: OracleSearcher(benchmark.ground_truth),
+}
+
+
+class TestFingerprints:
+    def test_table_fingerprint_is_content_stable(self):
+        first = Table("t", ["a", "b"], [(1, "x"), (2, "y")])
+        second = Table("t", ["a", "b"], [(1, "x"), (2, "y")])
+        assert first.content_fingerprint() == second.content_fingerprint()
+
+    def test_table_fingerprint_ignores_metadata(self):
+        plain = Table("t", ["a"], [(1,)])
+        annotated = Table("t", ["a"], [(1,)], metadata={"topic": "parks"})
+        assert plain.content_fingerprint() == annotated.content_fingerprint()
+
+    def test_table_fingerprint_sensitive_to_name_cells_and_types(self):
+        base = Table("t", ["a"], [(1,)])
+        assert base.content_fingerprint() != Table("u", ["a"], [(1,)]).content_fingerprint()
+        assert base.content_fingerprint() != Table("t", ["a"], [(2,)]).content_fingerprint()
+        # int 1 and string "1" must not collide
+        assert base.content_fingerprint() != Table("t", ["a"], [("1",)]).content_fingerprint()
+
+    def test_lake_fingerprint_ignores_lake_name(self):
+        tables = [Table("t", ["a"], [(1,)])]
+        assert (
+            DataLake(tables, name="one").fingerprint()
+            == DataLake([tables[0].copy()], name="two").fingerprint()
+        )
+
+    def test_lake_fingerprint_tracks_contents(self):
+        first = DataLake([Table("t", ["a"], [(1,)])])
+        second = DataLake([Table("t", ["a"], [(1,)]), Table("u", ["a"], [(2,)])])
+        assert first.fingerprint() != second.fingerprint()
+
+
+class TestIndexRoundTrip:
+    @pytest.mark.parametrize("backend", sorted(BACKEND_FACTORIES))
+    def test_round_trip_rankings_identical(self, backend, small_benchmark, tmp_path):
+        """Save/load every backend's index and compare full SearchResult lists
+        against a freshly built index on the same fixtures."""
+        factory = BACKEND_FACTORIES[backend]
+        lake = small_benchmark.lake
+        store = IndexStore(tmp_path / "store")
+
+        fresh = factory(small_benchmark).index(lake)
+        store.save(fresh, lake)
+        loaded = store.load(factory(small_benchmark), lake)
+
+        assert loaded.is_indexed
+        for query in small_benchmark.query_tables:
+            for k in (3, 8):
+                assert loaded.search(query, k) == fresh.search(query, k)
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_FACTORIES))
+    def test_config_fingerprints_are_distinct_per_backend(
+        self, backend, small_benchmark
+    ):
+        searcher = BACKEND_FACTORIES[backend](small_benchmark)
+        others = {
+            name: BACKEND_FACTORIES[name](small_benchmark).config_fingerprint()
+            for name in BACKEND_FACTORIES
+            if name != backend
+        }
+        assert searcher.config_fingerprint() not in others.values()
+
+    def test_config_change_changes_fingerprint(self):
+        assert (
+            ValueOverlapSearcher(num_hashes=64).config_fingerprint()
+            != ValueOverlapSearcher(num_hashes=128).config_fingerprint()
+        )
+
+
+class TestIndexStore:
+    def test_load_without_entry_is_a_miss(self, small_benchmark, tmp_path):
+        store = IndexStore(tmp_path / "empty")
+        with pytest.raises(IndexStoreMiss):
+            store.load(ValueOverlapSearcher(), small_benchmark.lake)
+
+    def test_contains_and_load_or_build(self, small_benchmark, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        lake = small_benchmark.lake
+        assert not store.contains(ValueOverlapSearcher(), lake)
+        built = store.load_or_build(ValueOverlapSearcher(), lake)
+        assert built.is_indexed
+        assert store.contains(ValueOverlapSearcher(), lake)
+        # Second pass loads instead of rebuilding: _build_index never runs.
+        loaded = store.load_or_build(ValueOverlapSearcher(), lake)
+        assert loaded.is_indexed
+        query = small_benchmark.query_tables[0]
+        assert loaded.search(query, 5) == built.search(query, 5)
+
+    def test_corrupt_payload_detected_and_healed(self, small_benchmark, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        lake = small_benchmark.lake
+        entry = store.save(ValueOverlapSearcher().index(lake), lake)
+        (entry / "arrays.npz").write_bytes(b"garbage")
+        with pytest.raises(ServingError):
+            store.load(ValueOverlapSearcher(), lake)
+        healed = store.load_or_build(ValueOverlapSearcher(), lake)
+        assert healed.is_indexed
+        # The rebuilt entry is valid again.
+        store.load(ValueOverlapSearcher(), lake)
+
+    def test_config_mismatch_is_a_miss(self, small_benchmark, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        lake = small_benchmark.lake
+        store.save(ValueOverlapSearcher(num_hashes=64).index(lake), lake)
+        with pytest.raises(IndexStoreMiss):
+            store.load(ValueOverlapSearcher(num_hashes=128), lake)
+
+    def test_lake_change_is_a_miss(self, small_benchmark, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        lake = small_benchmark.lake
+        store.save(ValueOverlapSearcher().index(lake), lake)
+        other = DataLake(
+            [table.copy() for table in lake] + [Table("extra", ["a"], [("v",)])],
+            name=lake.name,
+        )
+        with pytest.raises(IndexStoreMiss):
+            store.load(ValueOverlapSearcher(), other)
+
+    def test_inconsistent_payloads_heal_via_rebuild(self, small_benchmark, tmp_path):
+        """Checksummed-but-mutually-inconsistent payloads (e.g. a layout
+        change without a format bump) must surface as ServingError and be
+        rebuilt by load_or_build, not escape as SearchError/IndexError."""
+        store = IndexStore(tmp_path / "store")
+        lake = small_benchmark.lake
+        searcher = SantosSearcher().index(lake)
+        entry = store.save(searcher, lake)
+        # Rewrite the arrays with truncated vectors and a matching checksum.
+        state, arrays = searcher.index_state()
+        arrays["column_vectors"] = arrays["column_vectors"][:1]
+        with (entry / "arrays.npz").open("wb") as handle:
+            np.savez(handle, **arrays)
+        manifest = json.loads((entry / "manifest.json").read_text())
+        import hashlib
+
+        manifest["checksums"]["arrays.npz"] = hashlib.sha256(
+            (entry / "arrays.npz").read_bytes()
+        ).hexdigest()
+        (entry / "manifest.json").write_text(json.dumps(manifest))
+
+        with pytest.raises(ServingError):
+            store.load(SantosSearcher(), lake)
+        healed = store.load_or_build(SantosSearcher(), lake)
+        query = small_benchmark.query_tables[0]
+        assert healed.search(query, 5) == searcher.search(query, 5)
+
+    def test_manifest_records_checksums(self, small_benchmark, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        entry = store.save(
+            ValueOverlapSearcher().index(small_benchmark.lake), small_benchmark.lake
+        )
+        manifest = json.loads((entry / "manifest.json").read_text())
+        assert manifest["backend_class"] == "ValueOverlapSearcher"
+        assert set(manifest["checksums"]) == {"state.json", "arrays.npz"}
+
+
+class _CountingSearcher(ValueOverlapSearcher):
+    """ValueOverlapSearcher that counts search() invocations."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.search_calls = 0
+
+    def search(self, query_table, k):
+        self.search_calls += 1
+        return super().search(query_table, k)
+
+
+class TestQueryService:
+    @pytest.mark.parametrize("parallelism", ["process", "thread", "serial"])
+    def test_parallel_results_match_serial_bit_identically(
+        self, small_benchmark, parallelism
+    ):
+        if parallelism == "process" and not hasattr(os, "fork"):
+            pytest.skip("no fork on this platform")
+        lake = small_benchmark.lake
+        queries = small_benchmark.query_tables * 3  # repeat to exercise chunks
+        direct = ValueOverlapSearcher().index(lake)
+        # parallel_min_seconds=0 forces the fan-out even for this tiny lake.
+        service = QueryService(
+            ValueOverlapSearcher(),
+            max_workers=4,
+            chunk_size=2,
+            cache_size=0,
+            parallelism=parallelism,
+            parallel_min_seconds=0.0,
+        ).warm(lake)
+        batched = service.search_many(queries, 6)
+        assert len(batched) == len(queries)
+        for query, results in zip(queries, batched):
+            assert results == direct.search(query, 6)
+
+    def test_cache_serves_repeats_without_recomputing(self, small_benchmark):
+        searcher = _CountingSearcher()
+        service = QueryService(searcher, max_workers=1).warm(small_benchmark.lake)
+        query = small_benchmark.query_tables[0]
+        first = service.search(query, 5)
+        second = service.search(query, 5)
+        assert first == second
+        assert searcher.search_calls == 1
+        assert service.cache_stats == {"hits": 1, "misses": 1, "size": 1}
+        # A different k is a different cache entry.
+        service.search(query, 3)
+        assert searcher.search_calls == 2
+
+    def test_cache_is_bounded_lru(self, small_benchmark):
+        searcher = _CountingSearcher()
+        service = QueryService(searcher, max_workers=1, cache_size=1).warm(
+            small_benchmark.lake
+        )
+        first, second = small_benchmark.query_tables[:2]
+        service.search(first, 5)
+        service.search(second, 5)  # evicts the entry for `first`
+        assert service.cache_stats["size"] == 1
+        service.search(first, 5)
+        assert searcher.search_calls == 3
+
+    def test_warm_through_store_skips_rebuild(self, small_benchmark, tmp_path):
+        store = IndexStore(tmp_path / "store")
+        lake = small_benchmark.lake
+        QueryService(ValueOverlapSearcher(), store=store).warm(lake)
+
+        # Same class/config (the store key): a rebuild would now be a bug.
+        no_rebuild = ValueOverlapSearcher()
+
+        def exploding_build(lake):  # pragma: no cover - must not run
+            raise AssertionError("warm() should load, not rebuild")
+
+        no_rebuild._build_index = exploding_build
+        warmed = QueryService(no_rebuild, store=store).warm(lake)
+        assert warmed.is_warm
+        query = small_benchmark.query_tables[0]
+        assert warmed.search(query, 4) == ValueOverlapSearcher().index(lake).search(
+            query, 4
+        )
+
+    def test_unwarmed_service_rejected(self, small_benchmark):
+        service = QueryService(ValueOverlapSearcher())
+        with pytest.raises(ServingError):
+            service.search(small_benchmark.query_tables[0], 3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServingError):
+            QueryService(ValueOverlapSearcher(), max_workers=0)
+        with pytest.raises(ServingError):
+            QueryService(ValueOverlapSearcher(), chunk_size=0)
+        with pytest.raises(ServingError):
+            QueryService(ValueOverlapSearcher(), cache_size=-1)
+        with pytest.raises(ServingError):
+            QueryService(ValueOverlapSearcher(), parallelism="fibers")
+        with pytest.raises(ServingError):
+            QueryService(ValueOverlapSearcher(), parallel_min_seconds=-1.0)
+
+
+def _pipeline(searcher):
+    model = FastTextLikeModel(dimension=64)
+    return DustPipeline(
+        searcher,
+        column_encoder=CellLevelColumnEncoder(model),
+        tuple_encoder=model,
+        config=PipelineConfig(num_search_tables=4, min_query_rows=1),
+    )
+
+
+class TestPipelineServing:
+    def test_run_many_with_service_matches_direct_path(self, small_benchmark):
+        lake, queries = small_benchmark.lake, small_benchmark.query_tables
+        direct = _pipeline(ValueOverlapSearcher()).index(lake)
+        direct_results = direct.run_many(queries, k=5)
+
+        service = QueryService(
+            ValueOverlapSearcher(), max_workers=4, chunk_size=1
+        ).warm(lake)
+        served = _pipeline(ValueOverlapSearcher())  # un-indexed: adopted from service
+        served_results = served.run_many(queries, k=5, service=service)
+
+        for mine, theirs in zip(direct_results, served_results):
+            assert mine.search_results == theirs.search_results
+            assert mine.selected_indices == theirs.selected_indices
+            assert mine.selected_tuples == theirs.selected_tuples
+
+    def test_run_many_rejects_cold_service(self, small_benchmark):
+        service = QueryService(ValueOverlapSearcher())
+        pipeline = _pipeline(ValueOverlapSearcher())
+        with pytest.raises(ConfigurationError):
+            pipeline.run_many(small_benchmark.query_tables, k=5, service=service)
+
+
+class TestEvaluationServing:
+    def test_prepare_query_workload_accepts_search_service(self, small_benchmark):
+        model = FastTextLikeModel(dimension=64)
+        service = QueryService(ValueOverlapSearcher(), max_workers=2).warm(
+            small_benchmark.lake
+        )
+        query = small_benchmark.query_tables[0]
+        served = prepare_query_workload(
+            small_benchmark,
+            query,
+            model,
+            search_service=service,
+            num_search_tables=4,
+        )
+        expected_tables = [
+            table.name for table in service.search_tables(query, 4)
+        ]
+        assert set(served.table_ids) <= set(expected_tables)
+        assert served.num_candidates > 0
+
+    def test_prepare_query_workloads_batches_through_cache(self, small_benchmark):
+        model = FastTextLikeModel(dimension=64)
+        searcher = _CountingSearcher()
+        # Threaded mode keeps the invocation counter in-process (forked
+        # workers would increment a copy).
+        service = QueryService(searcher, max_workers=2, parallelism="thread").warm(
+            small_benchmark.lake
+        )
+        workloads = prepare_query_workloads(
+            small_benchmark,
+            small_benchmark.query_tables,
+            model,
+            search_service=service,
+            num_search_tables=4,
+        )
+        assert set(workloads) == {q.name for q in small_benchmark.query_tables}
+        # search_many warmed the cache; the per-query preparation hit it.
+        assert searcher.search_calls == len(small_benchmark.query_tables)
+        assert service.cache_stats["hits"] >= len(small_benchmark.query_tables)
+
+
+class TestQueryMemoInvalidation:
+    @pytest.mark.parametrize("backend", ["overlap", "starmie", "d3l", "santos"])
+    def test_mutated_query_table_is_rescored(self, backend, small_benchmark):
+        """Regression: the query-side memo must not serve results computed
+        from the query table's pre-``append_rows`` contents."""
+        lake = small_benchmark.lake
+        searcher = BACKEND_FACTORIES[backend](small_benchmark).index(lake)
+        query = small_benchmark.query_tables[0].copy()
+        searcher.search(query, 5)  # populate the memo
+        # Graft rows overlapping a different topic so rankings should change.
+        donor = lake.tables()[-1]
+        grafted = [row[: query.num_columns] for row in donor.rows[:3]]
+        query.append_rows(
+            row + tuple(None for _ in range(query.num_columns - len(row)))
+            for row in grafted
+        )
+        fresh = BACKEND_FACTORIES[backend](small_benchmark).index(lake)
+        assert searcher.search(query, 5) == fresh.search(query, 5)
+
+
+class TestSearcherIndexGuards:
+    def test_failed_build_leaves_searcher_unindexed(self, small_benchmark):
+        class ExplodingSearcher(ValueOverlapSearcher):
+            def _build_index(self, lake):
+                raise SearchError("boom")
+
+        searcher = ExplodingSearcher()
+        with pytest.raises(SearchError):
+            searcher.index(small_benchmark.lake)
+        assert not searcher.is_indexed
+        with pytest.raises(SearchError):
+            searcher.search(small_benchmark.query_tables[0], 3)
+
+    def test_index_state_requires_index(self):
+        with pytest.raises(SearchError):
+            ValueOverlapSearcher().index_state()
+
+    def test_unsupported_backend_reports_clean_error(self, small_benchmark):
+        class Opaque(ValueOverlapSearcher):
+            def _index_state(self):
+                raise SearchError(f"{type(self).__name__} does not support it")
+
+        searcher = Opaque().index(small_benchmark.lake)
+        with pytest.raises(SearchError):
+            searcher.index_state()
+
+
+class TestWarmCLI:
+    def test_warm_builds_then_loads(self, tmp_path, capsys):
+        store_dir = tmp_path / "warm-store"
+        argv = [
+            "--store",
+            str(store_dir),
+            "--benchmark",
+            "ugen",
+            "--backends",
+            "overlap",
+            "oracle",
+            "--num-queries",
+            "2",
+            "--seed",
+            "9",
+        ]
+        assert warm_main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("built") == 2
+        # Entries exist on disk with manifests.
+        manifests = list(store_dir.rglob("manifest.json"))
+        assert len(manifests) == 2
+        # Second invocation is served from the store.
+        assert warm_main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("loaded") == 2
+
+
+class TestPersistedArrays:
+    def test_loaded_state_arrays_are_float64(self, small_benchmark, tmp_path):
+        """npz round-trips must not silently change dtypes (parity depends on it)."""
+        store = IndexStore(tmp_path / "store")
+        searcher = SantosSearcher().index(small_benchmark.lake)
+        store.save(searcher, small_benchmark.lake)
+        loaded = store.load(SantosSearcher(), small_benchmark.lake)
+        table = small_benchmark.lake.tables()[0]
+        vector = loaded._column_vectors[table.name][table.columns[0]]
+        assert vector.dtype == np.float64
