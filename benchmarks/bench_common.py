@@ -98,25 +98,14 @@ def dust_tuple_model():
 def search_service(backend: str, benchmark_name: str):
     """A prewarmed :class:`~repro.serving.QueryService` for one backend/lake.
 
-    Indexes are persisted under ``.cache/index-store`` keyed by backend
-    configuration and lake content, so each lake is indexed at most once
-    across *all* harness runs; queries are LRU-cached and (for large
-    workloads) served in parallel.
+    Built through the :class:`~repro.api.Discovery` facade: the backend is
+    resolved by registry name and indexes are persisted under
+    ``.cache/index-store`` keyed by backend configuration and lake content,
+    so each lake is indexed at most once across *all* harness runs; queries
+    are LRU-cached and (for large workloads) served in parallel.
     """
-    from repro.search import (
-        D3LSearcher,
-        SantosSearcher,
-        StarmieSearcher,
-        ValueOverlapSearcher,
-    )
-    from repro.serving import IndexStore, QueryService
+    from repro.api import Discovery
 
-    factories = {
-        "overlap": ValueOverlapSearcher,
-        "starmie": StarmieSearcher,
-        "d3l": D3LSearcher,
-        "santos": SantosSearcher,
-    }
     benchmarks = {
         "santos": santos_benchmark,
         "ugen-v1": ugen_benchmark,
@@ -124,10 +113,13 @@ def search_service(backend: str, benchmark_name: str):
         "tus-sampled": tus_sampled_benchmark,
         "tus": tus_benchmark,
     }
-    service = QueryService(
-        factories[backend](), store=IndexStore(INDEX_STORE_ROOT)
-    )
-    return service.warm(benchmarks[benchmark_name]().lake)
+    discovery = Discovery.from_config(
+        {
+            "searcher": {"name": backend},
+            "serving": {"store_dir": str(INDEX_STORE_ROOT)},
+        }
+    ).attach(benchmarks[benchmark_name]().lake)
+    return discovery.service()
 
 
 @lru_cache(maxsize=4)

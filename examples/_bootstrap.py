@@ -1,0 +1,15 @@
+"""Make the in-repo ``repro`` package importable when it is not installed.
+
+Every example does ``import _bootstrap  # noqa: F401`` as its first import.
+When the package is pip-installed (``pip install -e .`` exposes the ``dust``
+console script too) this is a no-op; otherwise the repository's ``src/``
+directory is put on ``sys.path`` so the examples run straight from a clone.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))

@@ -9,24 +9,14 @@ Run with:  python examples/diversifier_comparison.py
 
 from __future__ import annotations
 
-import sys
+import _bootstrap  # noqa: F401
+
 import time
-from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-
+from repro.api import DIVERSIFIERS, TUPLE_ENCODERS
 from repro.benchgen import generate_ugen_benchmark
 from repro.core import DustDiversifier, average_diversity, min_diversity
-from repro.diversify import (
-    CLTDiversifier,
-    DiversificationRequest,
-    GMCDiversifier,
-    GNEDiversifier,
-    MaxMinDiversifier,
-    RandomDiversifier,
-    SwapDiversifier,
-)
-from repro.embeddings import RobertaLikeModel
+from repro.diversify import DiversificationRequest
 from repro.evaluation import prepare_query_workload
 
 
@@ -34,20 +24,21 @@ def main() -> None:
     k = 20
     benchmark = generate_ugen_benchmark(num_queries=2, seed=5)
     query = benchmark.query_tables[0]
-    workload = prepare_query_workload(benchmark, query, RobertaLikeModel())
+    workload = prepare_query_workload(benchmark, query, TUPLE_ENCODERS.create("roberta"))
     print(
         f"Query {query.name}: {workload.query_embeddings.shape[0]} query tuples, "
         f"{workload.num_candidates} unionable candidate tuples, k={k}"
     )
 
+    # Every method is resolved by registry name — exactly what a config file
+    # or the CLI would do.
+    method_params = {
+        "gne": {"iterations": 2, "max_swaps": 100},
+        "random": {"seed": 1},
+    }
     methods = {
-        "gmc": GMCDiversifier(),
-        "gne": GNEDiversifier(iterations=2, max_swaps=100),
-        "clt": CLTDiversifier(),
-        "swap": SwapDiversifier(),
-        "maxmin": MaxMinDiversifier(),
-        "random": RandomDiversifier(seed=1),
-        "dust": DustDiversifier(),
+        name: DIVERSIFIERS.create(name, **method_params.get(name, {}))
+        for name in ("gmc", "gne", "clt", "swap", "maxmin", "random", "dust")
     }
 
     print(f"\n{'Method':<10} {'AvgDiv':>8} {'MinDiv':>8} {'Time (s)':>9}")

@@ -9,10 +9,7 @@ Run with:  python examples/finetune_tuple_model.py
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+import _bootstrap  # noqa: F401
 
 from repro.benchgen import generate_finetuning_dataset, generate_tus_benchmark
 from repro.evaluation.representation import (

@@ -10,10 +10,7 @@ Run with:  python examples/imdb_case_study.py
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+import _bootstrap  # noqa: F401
 
 from repro.benchgen import generate_imdb_case_study
 from repro.core import DustDiversifier

@@ -10,14 +10,11 @@ Run with:  python examples/parks_discovery.py
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
+import _bootstrap  # noqa: F401
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-
-from repro import DataLake, DustPipeline, PipelineConfig, Table
-from repro.embeddings import CellLevelColumnEncoder, FastTextLikeModel, RobertaLikeModel
-from repro.search import StarmieSearcher, ValueOverlapSearcher
+from repro import DataLake, Table
+from repro.api import Discovery
+from repro.search import StarmieSearcher
 
 
 def build_tables() -> tuple[Table, DataLake]:
@@ -66,7 +63,6 @@ def build_tables() -> tuple[Table, DataLake]:
 
 def main() -> None:
     query, lake = build_tables()
-    encoder = RobertaLikeModel()
 
     # Baseline behaviour (paper Fig. 1 (e)): the most *unionable* tuples simply
     # repeat the query table, because the near-copy table is the most similar.
@@ -77,14 +73,17 @@ def main() -> None:
     for tuple_ in baseline_tuples:
         print(f"  from {tuple_.source_table}: {dict(tuple_.values)}")
 
-    # DUST behaviour (paper Fig. 1 (f)): unionable AND diverse tuples.
-    pipeline = DustPipeline(
-        searcher=ValueOverlapSearcher(),
-        column_encoder=CellLevelColumnEncoder(FastTextLikeModel()),
-        tuple_encoder=encoder,
-        config=PipelineConfig(k=4, num_search_tables=2, min_query_rows=3),
-    ).index(lake)
-    result = pipeline.run(query)
+    # DUST behaviour (paper Fig. 1 (f)): unionable AND diverse tuples, wired
+    # declaratively through the discovery facade.
+    discovery = Discovery.from_config(
+        {
+            "searcher": {"name": "overlap"},
+            "column_encoder": {"name": "cell-level", "base": "fasttext"},
+            "tuple_encoder": {"name": "roberta"},
+            "pipeline": {"k": 4, "num_search_tables": 2, "min_query_rows": 3},
+        }
+    ).attach(lake)
+    result = discovery.query(query).run()
 
     print("\nDiverse unionable tuples (DUST):")
     for tuple_ in result.selected_tuples:

@@ -1,24 +1,24 @@
-"""Quickstart: run the full DUST pipeline on a small generated data lake.
+"""Quickstart: run the full DUST pipeline through the unified discovery API.
 
 This reproduces the scenario of the paper's Example 1 / Fig. 1 at library
 scale: a query table about parks, a data lake containing near-copies of the
 query plus genuinely new tables, and DUST returning k tuples that are both
 unionable and *diverse* with respect to the query.
 
+Everything is driven through the public front door — a declarative config,
+the :class:`~repro.api.Discovery` facade and a fluent query — so swapping the
+search backend or encoders is a one-line config change (see
+``available_searchers()`` etc. for the registered component names).
+
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
+import _bootstrap  # noqa: F401
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-
-from repro import DustPipeline, PipelineConfig
+from repro.api import Discovery, available_searchers
 from repro.benchgen import generate_ugen_benchmark
-from repro.embeddings import ColumnLevelColumnEncoder, RobertaLikeModel
-from repro.search import ValueOverlapSearcher
 
 
 def main() -> None:
@@ -27,26 +27,29 @@ def main() -> None:
     benchmark = generate_ugen_benchmark(num_queries=3, seed=7)
     query = benchmark.query_tables[0]
     print(f"Query table: {query.name}  ({query.num_rows} rows, columns: {query.columns})")
+    print(f"Registered search backends: {available_searchers()}")
 
-    # 2. Assemble the pipeline: any union searcher + a column encoder for
-    #    alignment + a tuple encoder for diversification.
-    encoder = RobertaLikeModel()
-    pipeline = DustPipeline(
-        searcher=ValueOverlapSearcher(),
-        column_encoder=ColumnLevelColumnEncoder(encoder),
-        tuple_encoder=encoder,
-        config=PipelineConfig(k=10, num_search_tables=6),
-    ).index(benchmark.lake)
+    # 2. One declarative config wires the whole deployment: any registered
+    #    union searcher + a column encoder for alignment + a tuple encoder
+    #    for diversification.
+    discovery = Discovery.from_config(
+        {
+            "searcher": {"name": "overlap"},
+            "column_encoder": {"name": "column-level", "base": "roberta"},
+            "tuple_encoder": {"name": "roberta"},
+            "pipeline": {"k": 10, "num_search_tables": 6},
+        }
+    ).attach(benchmark.lake)
 
-    # 3. Run Algorithm 1 end to end.
-    result = pipeline.run(query)
+    # 3. Run Algorithm 1 end to end with a fluent query.
+    result = discovery.query(query).k(10).run()
 
     print("\nTop unionable tables found by search:")
     for hit in result.search_results[:5]:
         print(f"  {hit.rank:>2}. {hit.table_name}  (score {hit.score:.3f})")
 
-    print(f"\nUnionable candidate tuples formed: {result.num_candidate_tuples}")
-    print(f"Diverse tuples returned (k): {len(result.selected_tuples)}")
+    print(f"\nUnionable candidate tuples formed: {result.result.num_candidate_tuples}")
+    print(f"Diverse tuples returned (k): {len(result)}")
 
     diverse_table = result.as_table(query)
     print("\nDiverse unionable tuples (query schema):")
@@ -60,6 +63,7 @@ def main() -> None:
         f"min={scores['min_diversity']:.3f}"
     )
     print("Stage timings (s):", {k: round(v, 3) for k, v in result.timings.items()})
+    print("Provenance:", {k: str(v)[:16] for k, v in result.provenance.items()})
 
 
 if __name__ == "__main__":

@@ -5,6 +5,10 @@ Novelty-Driven Discovery in Data Lakes* (EDBT 2026).
 
 The public API is organised by subsystem:
 
+* :mod:`repro.api` — the unified discovery API: component registries,
+  the declarative :class:`~repro.api.config.DiscoveryConfig`, the
+  :class:`~repro.api.facade.Discovery` facade with fluent queries, and the
+  ``python -m repro`` / ``dust`` command line.
 * :mod:`repro.core` — the DUST pipeline (Algorithm 1), the DUST diversifier
   (Algorithm 2) and the diversity metrics (Eq. 1 / Eq. 2).
 * :mod:`repro.vectorops` — the shared vector engine: dtype-controlled
@@ -43,9 +47,35 @@ from repro.datalake import DataLake, Table
 from repro.serving import IndexStore, QueryService
 from repro.vectorops import DistanceContext, EmbeddingMatrix
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Unified-API names served lazily (PEP 562): the facade imports the pipeline
+#: and serving layers, so resolving them on first access keeps ``import
+#: repro`` cheap and free of circular imports with the self-registering
+#: implementation modules.
+_API_EXPORTS = {
+    "Discovery",
+    "DiscoveryConfig",
+    "DiscoveryQuery",
+    "ComponentSpec",
+    "ResultSet",
+}
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        import repro.api
+
+        return getattr(repro.api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "Discovery",
+    "DiscoveryConfig",
+    "DiscoveryQuery",
+    "ComponentSpec",
+    "ResultSet",
     "DistanceContext",
     "EmbeddingMatrix",
     "DustConfig",

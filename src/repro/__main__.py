@@ -1,0 +1,8 @@
+"""``python -m repro`` — the unified discovery command line."""
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

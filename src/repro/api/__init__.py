@@ -1,0 +1,85 @@
+"""The unified public discovery API.
+
+One front door to the whole reproduction:
+
+* :mod:`repro.api.registry` — string-keyed component registries
+  (``@register_searcher("starmie")``, ``available_searchers()``) for
+  searchers, diversifiers, column/tuple encoders and benchmark generators.
+* :mod:`repro.api.config` — :class:`DiscoveryConfig`, the declarative,
+  validated, JSON-round-trippable configuration tree that names every
+  component of a discovery deployment.
+* :mod:`repro.api.facade` — the :class:`Discovery` facade plus the fluent
+  query builder: ``Discovery.from_config(cfg).attach(lake)`` then
+  ``d.query(table).k(10).backend("starmie").run()``.
+* :mod:`repro.api.cli` — the ``python -m repro`` / ``dust`` command line
+  (``search``, ``diversify``, ``evaluate``, ``warm``, ``info``).
+
+Only the registry is imported eagerly; the facade and config modules load on
+first attribute access so that implementation modules can register themselves
+during package import without a cycle.
+"""
+
+from repro.api.registry import (
+    BENCHMARKS,
+    COLUMN_ENCODERS,
+    DIVERSIFIERS,
+    SEARCHERS,
+    TUPLE_ENCODERS,
+    Registry,
+    available_benchmarks,
+    available_column_encoders,
+    available_diversifiers,
+    available_searchers,
+    available_tuple_encoders,
+    register_benchmark,
+    register_column_encoder,
+    register_diversifier,
+    register_searcher,
+    register_tuple_encoder,
+)
+
+__all__ = [
+    "Registry",
+    "SEARCHERS",
+    "DIVERSIFIERS",
+    "TUPLE_ENCODERS",
+    "COLUMN_ENCODERS",
+    "BENCHMARKS",
+    "register_searcher",
+    "register_diversifier",
+    "register_tuple_encoder",
+    "register_column_encoder",
+    "register_benchmark",
+    "available_searchers",
+    "available_diversifiers",
+    "available_tuple_encoders",
+    "available_column_encoders",
+    "available_benchmarks",
+    "ComponentSpec",
+    "DiscoveryConfig",
+    "Discovery",
+    "DiscoveryQuery",
+    "ResultSet",
+    "build_benchmark",
+]
+
+#: Attributes served lazily (PEP 562) so that ``repro.api`` can be imported
+#: from the implementation modules that register themselves without cycling
+#: back through the facade's imports of those same modules.
+_LAZY_ATTRIBUTES = {
+    "ComponentSpec": "repro.api.config",
+    "DiscoveryConfig": "repro.api.config",
+    "Discovery": "repro.api.facade",
+    "DiscoveryQuery": "repro.api.facade",
+    "ResultSet": "repro.api.facade",
+    "build_benchmark": "repro.api.facade",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_ATTRIBUTES.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

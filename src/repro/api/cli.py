@@ -1,0 +1,318 @@
+"""The ``dust`` / ``python -m repro`` command line.
+
+Every subcommand drives the system through the :class:`~repro.api.facade.Discovery`
+facade and a :class:`~repro.api.config.DiscoveryConfig` (``--config`` JSON
+file, defaults otherwise)::
+
+    dust info
+    dust search    --config cfg.json --benchmark ugen --query 0 --k 10
+    dust diversify --benchmark ugen --methods dust gmc --k 10
+    dust evaluate  --benchmark ugen --k 10
+    dust warm      --store .cache/index-store --benchmark ugen --backends overlap d3l
+
+``search`` prints one :class:`~repro.api.facade.ResultSet` as JSON;
+``diversify``/``evaluate`` print diversity scores of the registered
+diversification methods; ``warm`` pre-builds and persists search indexes
+(the CI bench-smoke job runs it twice to prove the store's load path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Sequence
+
+from repro.api.config import DiscoveryConfig
+from repro.api.facade import Discovery, build_benchmark
+from repro.api.registry import (
+    SEARCHERS,
+    available_benchmarks,
+    available_column_encoders,
+    available_diversifiers,
+    available_searchers,
+    available_tuple_encoders,
+)
+from repro.utils.errors import ReproError
+
+
+def _add_config_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        metavar="JSON_FILE",
+        default=None,
+        help="DiscoveryConfig JSON file (defaults to the built-in configuration)",
+    )
+
+
+def _add_benchmark_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmark",
+        choices=available_benchmarks(),
+        default="ugen",
+        help="generated benchmark lake to run against (default: %(default)s)",
+    )
+    parser.add_argument("--num-queries", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=3)
+
+
+def _load_config(args: argparse.Namespace) -> DiscoveryConfig:
+    if getattr(args, "config", None):
+        return DiscoveryConfig.from_file(args.config)
+    return DiscoveryConfig()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dust",
+        description="DUST diverse unionable tuple search (python -m repro).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser(
+        "info", help="show version, registered components and the active config"
+    )
+    _add_config_option(info)
+    info.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    search = subparsers.add_parser(
+        "search", help="run Algorithm 1 end to end on a generated benchmark lake"
+    )
+    _add_config_option(search)
+    _add_benchmark_options(search)
+    search.add_argument("--query", type=int, default=0, help="query table index")
+    search.add_argument("--k", type=int, default=None, help="override the config's k")
+    search.add_argument(
+        "--backend", choices=available_searchers(), default=None,
+        help="override the config's search backend",
+    )
+    search.add_argument(
+        "--output", metavar="FILE", default=None, help="write the result JSON here"
+    )
+
+    diversify = subparsers.add_parser(
+        "diversify", help="run diversification methods on one benchmark query"
+    )
+    _add_config_option(diversify)
+    _add_benchmark_options(diversify)
+    diversify.add_argument("--query", type=int, default=0, help="query table index")
+    diversify.add_argument("--k", type=int, default=10)
+    diversify.add_argument(
+        "--methods", nargs="+", choices=available_diversifiers(), default=["dust", "gmc", "maxmin"],
+    )
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="score diversification methods over every benchmark query"
+    )
+    _add_config_option(evaluate)
+    _add_benchmark_options(evaluate)
+    evaluate.add_argument("--k", type=int, default=10)
+    evaluate.add_argument(
+        "--methods", nargs="+", choices=available_diversifiers(), default=["dust", "gmc", "maxmin", "random"],
+    )
+
+    warm = subparsers.add_parser(
+        "warm", help="pre-build and persist search indexes for a benchmark lake"
+    )
+    _add_benchmark_options(warm)
+    warm.add_argument(
+        "--store",
+        default=".cache/index-store",
+        help="index store root directory (default: %(default)s)",
+    )
+    warm.add_argument(
+        "--backends",
+        nargs="+",
+        choices=available_searchers(),
+        default=["overlap", "d3l", "santos"],
+        help="search backends to warm (default: %(default)s)",
+    )
+    return parser
+
+
+# ---------------------------------------------------------------- subcommands
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro import __version__
+
+    config = _load_config(args)
+    payload = {
+        "version": __version__,
+        "searchers": available_searchers(),
+        "diversifiers": available_diversifiers(),
+        "tuple_encoders": available_tuple_encoders(),
+        "column_encoders": available_column_encoders(),
+        "benchmarks": available_benchmarks(),
+        "config": config.to_dict(),
+        "config_fingerprint": config.fingerprint(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"DUST reproduction v{__version__}")
+    for kind in ("searchers", "diversifiers", "tuple_encoders", "column_encoders", "benchmarks"):
+        print(f"  {kind.replace('_', ' '):<16}: {', '.join(payload[kind])}")
+    print(f"  config fingerprint: {payload['config_fingerprint'][:16]}")
+    print(f"  active config     : {json.dumps(payload['config'], sort_keys=True)}")
+    return 0
+
+
+def _query_table(benchmark, index: int):
+    queries = benchmark.query_tables
+    if not 0 <= index < len(queries):
+        raise ReproError(
+            f"query index {index} out of range; benchmark has {len(queries)} query tables"
+        )
+    return queries[index]
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    config = _load_config(args)
+    benchmark = build_benchmark(args.benchmark, num_queries=args.num_queries, seed=args.seed)
+    query = _query_table(benchmark, args.query)
+    discovery = Discovery.from_config(config).attach(benchmark.lake)
+    fluent = discovery.query(query)
+    if args.k is not None:
+        fluent = fluent.k(args.k)
+    if args.backend is not None:
+        fluent = fluent.backend(args.backend)
+    result = fluent.run()
+    text = result.to_json()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output} ({len(result)} selected tuples)")
+    else:
+        print(text)
+    return 0
+
+
+def _prepared_workloads(args: argparse.Namespace, discovery: Discovery, *, single_query: bool):
+    from repro.evaluation import prepare_query_workload, prepare_query_workloads
+
+    benchmark = build_benchmark(args.benchmark, num_queries=args.num_queries, seed=args.seed)
+    encoder = discovery.tuple_encoder
+    if single_query:
+        query = _query_table(benchmark, args.query)
+        return {query.name: prepare_query_workload(benchmark, query, encoder)}
+    return prepare_query_workloads(benchmark, benchmark.query_tables, encoder)
+
+
+def _method_instances(names: Sequence[str], discovery: Discovery) -> dict:
+    # discovery.diversifier() centralises the wiring rules (e.g. "dust"
+    # inherits the config's dust section).
+    return {name: discovery.diversifier(name) for name in names}
+
+
+def _cmd_diversify(args: argparse.Namespace) -> int:
+    from repro.core.metrics import diversity_scores
+
+    discovery = Discovery.from_config(_load_config(args))
+    workloads = _prepared_workloads(args, discovery, single_query=True)
+    (query_name, workload), = workloads.items()
+    k = min(args.k, workload.num_candidates)
+    print(
+        f"query {query_name}: {workload.num_candidates} unionable candidate "
+        f"tuples, k={k}"
+    )
+    print(f"{'method':<10} {'avg_div':>8} {'min_div':>8} {'time_s':>8}")
+    from repro.diversify.base import DiversificationRequest
+    from repro.core.diversifier import DustDiversifier
+
+    for name, method in _method_instances(args.methods, discovery).items():
+        request = DiversificationRequest(
+            query_embeddings=workload.query_embeddings,
+            candidate_embeddings=workload.candidate_embeddings,
+            k=k,
+            context=workload.distance_context(),
+        )
+        start = time.perf_counter()
+        if isinstance(method, DustDiversifier):
+            selection = method.select(request, table_ids=workload.table_ids)
+        else:
+            selection = method.select(request)
+        elapsed = time.perf_counter() - start
+        scores = diversity_scores(
+            workload.query_embeddings,
+            workload.candidate_embeddings[selection],
+            context=workload.distance_context(),
+            selected_indices=selection,
+        )
+        print(
+            f"{name:<10} {scores['average_diversity']:>8.3f} "
+            f"{scores['min_diversity']:>8.3f} {elapsed:>8.3f}"
+        )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evaluation import count_wins, evaluate_diversifiers_on_benchmark
+
+    discovery = Discovery.from_config(_load_config(args))
+    workloads = _prepared_workloads(args, discovery, single_query=False)
+    methods = _method_instances(args.methods, discovery)
+    outcomes = evaluate_diversifiers_on_benchmark(workloads, methods, k=args.k)
+    wins = count_wins(outcomes)
+    print(
+        f"{args.benchmark}: {len(workloads)} queries, k={args.k}, "
+        f"methods={sorted(methods)}"
+    )
+    print(f"{'method':<10} {'avg_wins':>8} {'min_wins':>8} {'mean_s':>8}")
+    for name, outcome in outcomes.items():
+        method_wins = wins.get(name, {})
+        print(
+            f"{name:<10} {method_wins.get('average_wins', 0):>8.0f} "
+            f"{method_wins.get('min_wins', 0):>8.0f} {outcome.mean_time:>8.3f}"
+        )
+    return 0
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    from repro.serving.store import IndexStore
+
+    benchmark = build_benchmark(args.benchmark, num_queries=args.num_queries, seed=args.seed)
+    lake = benchmark.lake
+    store = IndexStore(args.store)
+    print(
+        f"warming {len(args.backends)} backend(s) over {args.benchmark!r} "
+        f"({lake.num_tables} tables, {lake.num_rows} rows), "
+        f"store={store.root}"
+    )
+    for backend in args.backends:
+        if backend == "oracle":
+            searcher = SEARCHERS.create(backend, ground_truth=benchmark.ground_truth)
+        else:
+            searcher = SEARCHERS.create(backend)
+        cached = store.contains(searcher, lake)
+        start = time.perf_counter()
+        store.load_or_build(searcher, lake)
+        elapsed = time.perf_counter() - start
+        action = "loaded" if cached else "built"
+        print(
+            f"  {backend:>8}: {action} in {elapsed:.3f}s -> "
+            f"{store.entry_dir(searcher, lake)}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "search": _cmd_search,
+    "diversify": _cmd_diversify,
+    "evaluate": _cmd_evaluate,
+    "warm": _cmd_warm,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

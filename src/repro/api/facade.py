@@ -1,0 +1,461 @@
+"""The :class:`Discovery` facade: one front door to the whole system.
+
+``Discovery.from_config(cfg).attach(lake)`` resolves every component named by
+a :class:`~repro.api.config.DiscoveryConfig` through the registries, wires the
+:class:`~repro.core.pipeline.DustPipeline` (and, when a ``serving`` section is
+configured, an :class:`~repro.serving.store.IndexStore`-backed
+:class:`~repro.serving.service.QueryService`) exactly as the hand-written call
+sites used to, and serves fluent queries::
+
+    discovery = Discovery.from_config({"searcher": {"name": "overlap"}})
+    discovery.attach(benchmark.lake)
+    result = discovery.query(table).k(10).backend("starmie").run()
+    print(result.to_json())
+
+Selections are bit-identical to manually-wired ``DustPipeline`` runs: the
+facade builds the same objects and calls the same entry points, it only
+removes the wiring boilerplate.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.api.config import ComponentSpec, DiscoveryConfig
+from repro.api.registry import (
+    BENCHMARKS,
+    COLUMN_ENCODERS,
+    DIVERSIFIERS,
+    SEARCHERS,
+    TUPLE_ENCODERS,
+)
+from repro.core.pipeline import DustPipeline, DustResult
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.search.base import SearchResult, TableUnionSearcher
+from repro.serving.service import QueryService
+from repro.serving.store import IndexStore
+from repro.utils.errors import ConfigurationError
+
+#: Reduced-scale shape overrides applied by :func:`build_benchmark` so CLI and
+#: CI invocations stay laptop-sized; pass explicit overrides for larger runs.
+_BENCHMARK_SCALE: dict[str, dict[str, int]] = {
+    "tus": {"num_base_tables": 6, "base_rows": 60, "lake_tables_per_base": 6},
+    "tus-sampled": {"num_base_tables": 6, "base_rows": 60, "lake_tables_per_base": 6},
+    "santos": {"num_base_tables": 6, "base_rows": 60, "lake_tables_per_base": 6},
+    "imdb": {"num_movies": 200, "num_lake_tables": 8, "rows_per_table": 50, "query_rows": 20},
+}
+
+
+def build_benchmark(name: str, *, num_queries: int = 2, seed: int = 3, **overrides: Any):
+    """Build a registered benchmark at CLI-friendly scale.
+
+    ``num_queries``/``seed`` are forwarded when the generator accepts them
+    (the IMDB case study, for instance, always has exactly one query table).
+    """
+    factory = BENCHMARKS.get(name)
+    accepted = set(inspect.signature(factory).parameters)
+    kwargs: dict[str, Any] = dict(_BENCHMARK_SCALE.get(name.strip().lower(), {}))
+    kwargs.update(overrides)
+    if "num_queries" in accepted:
+        kwargs.setdefault("num_queries", num_queries)
+    if "seed" in accepted:
+        kwargs.setdefault("seed", seed)
+    unknown = set(kwargs) - accepted
+    if unknown:
+        raise ConfigurationError(
+            f"benchmark generator {name!r} does not accept parameters {sorted(unknown)}"
+        )
+    return factory(**kwargs)
+
+
+@dataclass
+class ResultSet:
+    """A :class:`~repro.core.pipeline.DustResult` plus run provenance."""
+
+    result: DustResult
+    #: Which config/backend/lake produced this result (all content-addressed).
+    provenance: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- delegation
+    @property
+    def query_table_name(self) -> str:
+        return self.result.query_table_name
+
+    @property
+    def search_results(self) -> list[SearchResult]:
+        return self.result.search_results
+
+    @property
+    def selected_tuples(self):
+        return self.result.selected_tuples
+
+    @property
+    def selected_indices(self) -> list[int]:
+        return self.result.selected_indices
+
+    @property
+    def timings(self) -> dict[str, float]:
+        return self.result.timings
+
+    def __len__(self) -> int:
+        return len(self.result.selected_tuples)
+
+    def selections(self) -> list[tuple[str, int]]:
+        """``(source table, source row)`` of every selected tuple."""
+        return [
+            (aligned.source_table, aligned.source_row)
+            for aligned in self.result.selected_tuples
+        ]
+
+    def as_table(self, query_table: Table, *, name: str | None = None) -> Table:
+        return self.result.as_table(query_table, name=name)
+
+    def diversity(self, *, metric: str = "cosine") -> dict[str, float]:
+        return self.result.diversity(metric=metric)
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable summary of the run."""
+        return {
+            "query": self.result.query_table_name,
+            "provenance": dict(self.provenance),
+            "search_results": [
+                {"table": hit.table_name, "score": hit.score, "rank": hit.rank}
+                for hit in self.result.search_results
+            ],
+            "num_candidate_tuples": self.result.num_candidate_tuples,
+            "selections": [list(pair) for pair in self.selections()],
+            "selected_rows": [
+                dict(aligned.values) for aligned in self.result.selected_tuples
+            ],
+            "timings": dict(self.result.timings),
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
+
+
+class DiscoveryQuery:
+    """Fluent single/multi-query builder returned by :meth:`Discovery.query`."""
+
+    def __init__(self, discovery: "Discovery", table: Table | None = None) -> None:
+        self._discovery = discovery
+        self._table = table
+        self._k: int | None = None
+        self._backend: str | None = None
+
+    def table(self, table: Table) -> "DiscoveryQuery":
+        """Set (or replace) the query table."""
+        self._table = table
+        return self
+
+    def k(self, value: int) -> "DiscoveryQuery":
+        """Number of diverse tuples to return (defaults to the config's k)."""
+        if value <= 0:
+            raise ConfigurationError(f"k must be positive, got {value}")
+        self._k = int(value)
+        return self
+
+    def backend(self, name: str) -> "DiscoveryQuery":
+        """Route this query through a different registered search backend."""
+        SEARCHERS.get(name)  # fail fast on unknown names
+        self._backend = name
+        return self
+
+    def run(self, table: Table | None = None) -> ResultSet:
+        """Execute Algorithm 1 for the configured query table."""
+        query_table = table if table is not None else self._table
+        if query_table is None:
+            raise ConfigurationError(
+                "no query table: pass one to query()/table()/run()"
+            )
+        return self._discovery.run(query_table, k=self._k, backend=self._backend)
+
+    def run_many(self, tables: Sequence[Table]) -> list[ResultSet]:
+        """Execute Algorithm 1 for several query tables against one index."""
+        return self._discovery.run_many(tables, k=self._k, backend=self._backend)
+
+
+class Discovery:
+    """Builds and serves a configured discovery deployment.
+
+    Components (encoders, diversifier, pipeline config) are resolved once at
+    construction; search backends are built and indexed lazily per backend
+    name when :meth:`attach`-ed to a lake — through the persistent index store
+    and query service when the config has a ``serving`` section.
+    """
+
+    def __init__(self, config: DiscoveryConfig | None = None) -> None:
+        self.config = config or DiscoveryConfig()
+        self._pipeline_config = self.config.pipeline_config()
+        self._tuple_encoder = TUPLE_ENCODERS.create(
+            self.config.tuple_encoder.name, **self.config.tuple_encoder.params
+        )
+        self._column_encoder = self._build_column_encoder(self.config.column_encoder)
+        self._diversifier = self._build_diversifier(self.config.diversifier)
+        serving = self.config.serving
+        self._store = (
+            IndexStore(serving["store_dir"])
+            if serving is not None and serving.get("store_dir")
+            else None
+        )
+        self._lake: DataLake | None = None
+        self._searchers: dict[str, TableUnionSearcher] = {}
+        self._services: dict[str, QueryService] = {}
+        self._pipelines: dict[str, DustPipeline] = {}
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_config(
+        cls, config: "DiscoveryConfig | Mapping[str, Any] | str | Path | None" = None
+    ) -> "Discovery":
+        """Build a facade from a config object, dict, or JSON file path."""
+        if config is None or isinstance(config, DiscoveryConfig):
+            return cls(config)
+        if isinstance(config, Mapping):
+            return cls(DiscoveryConfig.from_dict(config))
+        if isinstance(config, (str, Path)):
+            return cls(DiscoveryConfig.from_file(config))
+        raise ConfigurationError(
+            f"from_config() accepts a DiscoveryConfig, mapping or path, got {config!r}"
+        )
+
+    def _build_column_encoder(self, spec: ComponentSpec):
+        params = dict(spec.params)
+        base = params.get("base")
+        if isinstance(base, (str, Mapping)):
+            base_spec = ComponentSpec.from_value(base, section="column_encoder.base")
+            params["base"] = TUPLE_ENCODERS.create(base_spec.name, **base_spec.params)
+        elif base is None:
+            # Column encoders wrap a base tuple encoder; share the config's.
+            params["base"] = self._tuple_encoder
+        return COLUMN_ENCODERS.create(spec.name, **params)
+
+    def _build_diversifier(self, spec: ComponentSpec):
+        params = dict(spec.params)
+        if spec.name == "dust" and "config" not in params:
+            params["config"] = self.config.dust_config()
+        return DIVERSIFIERS.create(spec.name, **params)
+
+    @property
+    def tuple_encoder(self):
+        """The config's tuple encoder instance."""
+        return self._tuple_encoder
+
+    @property
+    def column_encoder(self):
+        """The config's column encoder instance."""
+        return self._column_encoder
+
+    def diversifier(self, name: str | None = None, **params: Any):
+        """The config's diversifier, or any registered one built by name.
+
+        A ``dust`` diversifier without an explicit ``config`` parameter
+        inherits this deployment's dust configuration — the single place that
+        wiring rule lives, shared by the facade and the CLI.
+        """
+        if name is None and not params:
+            return self._diversifier
+        if name is None:
+            name = self.config.diversifier.name
+        return self._build_diversifier(ComponentSpec(name, params))
+
+    # ----------------------------------------------------------------- attach
+    def attach(self, lake: DataLake) -> "Discovery":
+        """Bind a data lake and index the configured default backend."""
+        self._lake = lake
+        self._searchers.clear()
+        self._services.clear()
+        self._pipelines.clear()
+        self._ensure_backend(self.config.searcher.name)
+        return self
+
+    @property
+    def lake(self) -> DataLake:
+        if self._lake is None:
+            raise ConfigurationError(
+                "Discovery is not attached to a data lake; call attach(lake) first"
+            )
+        return self._lake
+
+    @property
+    def is_attached(self) -> bool:
+        return self._lake is not None
+
+    # ---------------------------------------------------------------- backends
+    def _backend_key(self, backend: str | None) -> str:
+        key = (backend or self.config.searcher.name).strip().lower()
+        SEARCHERS.get(key)  # unknown name -> ConfigurationError
+        return key
+
+    def _build_searcher(self, backend: str) -> TableUnionSearcher:
+        # The default backend keeps its configured parameters; alternates are
+        # built with registry defaults.
+        spec = self.config.searcher
+        params = dict(spec.params) if backend == spec.name else {}
+        return SEARCHERS.create(backend, **params)
+
+    def _ensure_backend(self, backend: str) -> TableUnionSearcher:
+        key = self._backend_key(backend)
+        searcher = self._searchers.get(key)
+        if searcher is not None:
+            return searcher
+        searcher = self._build_searcher(key)
+        if self.config.serving is not None:
+            serving = self.config.serving
+            service = QueryService(
+                searcher,
+                store=self._store,
+                max_workers=serving["max_workers"],
+                chunk_size=serving["chunk_size"],
+                cache_size=serving["cache_size"],
+                parallelism=serving["parallelism"],
+                parallel_min_seconds=serving["parallel_min_seconds"],
+            )
+            service.warm(self.lake)
+            self._services[key] = service
+        elif self._store is not None:
+            self._store.load_or_build(searcher, self.lake)
+        else:
+            searcher.index(self.lake)
+        self._searchers[key] = searcher
+        return searcher
+
+    def searcher(self, backend: str | None = None) -> TableUnionSearcher:
+        """The (lazily indexed) searcher serving ``backend``."""
+        return self._ensure_backend(self._backend_key(backend))
+
+    def service(self, backend: str | None = None) -> QueryService | None:
+        """The backend's :class:`QueryService`, or ``None`` without serving."""
+        key = self._backend_key(backend)
+        self._ensure_backend(key)
+        return self._services.get(key)
+
+    def pipeline(self, backend: str | None = None) -> DustPipeline:
+        """The wired :class:`DustPipeline` serving ``backend``."""
+        key = self._backend_key(backend)
+        pipeline = self._pipelines.get(key)
+        if pipeline is None:
+            pipeline = DustPipeline(
+                searcher=self._ensure_backend(key),
+                column_encoder=self._column_encoder,
+                tuple_encoder=self._tuple_encoder,
+                config=self._pipeline_config,
+                diversifier=self._diversifier,
+            )
+            self._pipelines[key] = pipeline
+        return pipeline
+
+    # ----------------------------------------------------------------- search
+    def search(
+        self, query_table: Table, k: int | None = None, *, backend: str | None = None
+    ) -> list[SearchResult]:
+        """Step-1 only: ranked unionable tables (service-cached when serving)."""
+        key = self._backend_key(backend)
+        self._ensure_backend(key)
+        k = k if k is not None else self._pipeline_config.num_search_tables
+        service = self._services.get(key)
+        if service is not None:
+            return service.search(query_table, k)
+        return self._searchers[key].search(query_table, k)
+
+    def search_many(
+        self,
+        query_tables: Sequence[Table],
+        k: int | None = None,
+        *,
+        backend: str | None = None,
+    ) -> list[list[SearchResult]]:
+        """Batch step-1 rankings (parallel + cached when serving is enabled)."""
+        key = self._backend_key(backend)
+        self._ensure_backend(key)
+        k = k if k is not None else self._pipeline_config.num_search_tables
+        service = self._services.get(key)
+        if service is not None:
+            return service.search_many(query_tables, k)
+        searcher = self._searchers[key]
+        return [searcher.search(query, k) for query in query_tables]
+
+    def search_tables(
+        self, query_table: Table, k: int | None = None, *, backend: str | None = None
+    ) -> list[Table]:
+        """Like :meth:`search` but resolving the ranked names to tables."""
+        return [
+            self.lake.get(hit.table_name)
+            for hit in self.search(query_table, k, backend=backend)
+        ]
+
+    # -------------------------------------------------------------------- run
+    def query(self, table: Table | None = None) -> DiscoveryQuery:
+        """Start a fluent query: ``d.query(t).k(10).backend("starmie").run()``."""
+        return DiscoveryQuery(self, table)
+
+    def _provenance(self, backend: str, k: int | None) -> dict[str, Any]:
+        return {
+            "backend": backend,
+            "k": k if k is not None else self._pipeline_config.k,
+            "config_fingerprint": self.config.fingerprint(),
+            "searcher_fingerprint": self._searchers[backend].config_fingerprint(),
+            "lake": self.lake.name,
+            "lake_fingerprint": self.lake.fingerprint(),
+        }
+
+    def run(
+        self, query_table: Table, *, k: int | None = None, backend: str | None = None
+    ) -> ResultSet:
+        """Run Algorithm 1 end to end for one query table."""
+        key = self._backend_key(backend)
+        pipeline = self.pipeline(key)
+        service = self._services.get(key)
+        search_results = (
+            service.search(query_table, self._pipeline_config.num_search_tables)
+            if service is not None
+            else None
+        )
+        result = pipeline.run(query_table, k=k, search_results=search_results)
+        return ResultSet(result=result, provenance=self._provenance(key, k))
+
+    def run_many(
+        self,
+        query_tables: Sequence[Table],
+        *,
+        k: int | None = None,
+        backend: str | None = None,
+    ) -> list[ResultSet]:
+        """Run Algorithm 1 for several queries against one built index."""
+        key = self._backend_key(backend)
+        pipeline = self.pipeline(key)
+        service = self._services.get(key)
+        results = pipeline.run_many(query_tables, k=k, service=service)
+        provenance = self._provenance(key, k)
+        return [
+            ResultSet(result=result, provenance=dict(provenance))
+            for result in results
+        ]
+
+    # ------------------------------------------------------------------- info
+    def info(self) -> dict[str, Any]:
+        """Everything a caller needs to know about this deployment."""
+        from repro import __version__
+
+        return {
+            "version": __version__,
+            "config": self.config.to_dict(),
+            "config_fingerprint": self.config.fingerprint(),
+            "lake": (
+                {
+                    "name": self.lake.name,
+                    "num_tables": self.lake.num_tables,
+                    "fingerprint": self.lake.fingerprint(),
+                }
+                if self.is_attached
+                else None
+            ),
+            "indexed_backends": sorted(self._searchers),
+            "serving": self.config.serving is not None,
+        }

@@ -9,6 +9,7 @@ code (counting novel values per column) is identical either way.
 
 from __future__ import annotations
 
+from repro.api.registry import register_benchmark
 from repro.benchgen.base_tables import generate_base_table
 from repro.benchgen.topics import ColumnSpec, TopicSpec
 from repro.benchgen.types import Benchmark
@@ -45,6 +46,7 @@ _IMDB_TOPIC = TopicSpec(
 )
 
 
+@register_benchmark("imdb")
 def generate_imdb_case_study(
     *,
     num_movies: int = 500,

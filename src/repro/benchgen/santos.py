@@ -8,11 +8,13 @@ keeping each topic's relationship column pair in the projection.
 
 from __future__ import annotations
 
+from repro.api.registry import register_benchmark
 from repro.benchgen.topics import default_topics
 from repro.benchgen.tus import _build_derivation_benchmark
 from repro.benchgen.types import Benchmark
 
 
+@register_benchmark("santos")
 def generate_santos_benchmark(
     *,
     num_base_tables: int = 10,

@@ -10,6 +10,7 @@ original sizes.
 
 from __future__ import annotations
 
+from repro.api.registry import register_benchmark
 from repro.benchgen.base_tables import derive_table, generate_base_table
 from repro.benchgen.topics import TopicSpec, default_topics
 from repro.benchgen.types import Benchmark
@@ -94,6 +95,7 @@ def _build_derivation_benchmark(
     )
 
 
+@register_benchmark("tus")
 def generate_tus_benchmark(
     *,
     num_base_tables: int = 12,
@@ -126,6 +128,7 @@ def generate_tus_benchmark(
     return benchmark
 
 
+@register_benchmark("tus-sampled")
 def generate_tus_sampled_benchmark(
     *,
     num_base_tables: int = 8,

@@ -9,6 +9,7 @@ a *different* topic (paired deterministically), and all tables are small.
 
 from __future__ import annotations
 
+from repro.api.registry import register_benchmark
 from repro.benchgen.base_tables import derive_table, generate_base_table
 from repro.benchgen.topics import default_topics
 from repro.benchgen.types import Benchmark
@@ -17,6 +18,7 @@ from repro.utils.errors import BenchmarkError
 from repro.utils.rng import derive_seed, seeded_rng
 
 
+@register_benchmark("ugen")
 def generate_ugen_benchmark(
     *,
     num_queries: int = 10,

@@ -28,7 +28,7 @@ from scipy.spatial.distance import squareform
 from repro.cluster.distance import pairwise_distance_matrix
 from repro.utils.errors import ConfigurationError
 
-_SUPPORTED_LINKAGE = ("average", "complete", "single")
+SUPPORTED_LINKAGE = ("average", "complete", "single")
 
 
 @dataclass(frozen=True)
@@ -75,9 +75,9 @@ class AgglomerativeClustering:
     """
 
     def __init__(self, *, linkage: str = "average", metric: str = "euclidean") -> None:
-        if linkage not in _SUPPORTED_LINKAGE:
+        if linkage not in SUPPORTED_LINKAGE:
             raise ConfigurationError(
-                f"linkage must be one of {_SUPPORTED_LINKAGE}, got {linkage!r}"
+                f"linkage must be one of {SUPPORTED_LINKAGE}, got {linkage!r}"
             )
         self.linkage = linkage
         self.metric = metric

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cluster.agglomerative import SUPPORTED_LINKAGE
 from repro.cluster.distance import DISTANCE_FUNCTIONS
 from repro.utils.errors import ConfigurationError
 
@@ -47,6 +48,15 @@ class DustConfig:
         if self.metric not in DISTANCE_FUNCTIONS:
             raise ConfigurationError(
                 f"metric must be one of {sorted(DISTANCE_FUNCTIONS)}, got {self.metric!r}"
+            )
+        if self.linkage not in SUPPORTED_LINKAGE:
+            raise ConfigurationError(
+                f"linkage must be one of {sorted(SUPPORTED_LINKAGE)}, got {self.linkage!r}"
+            )
+        if self.cluster_metric not in DISTANCE_FUNCTIONS:
+            raise ConfigurationError(
+                f"cluster_metric must be one of {sorted(DISTANCE_FUNCTIONS)}, "
+                f"got {self.cluster_metric!r}"
             )
 
 

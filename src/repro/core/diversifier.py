@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.registry import register_diversifier
 from repro.cluster.agglomerative import AgglomerativeClustering
 from repro.cluster.medoids import cluster_medoids
 from repro.core.config import DustConfig
@@ -37,6 +38,7 @@ class DustSelectionTrace:
     selected_indices: list[int] = field(default_factory=list)
 
 
+@register_diversifier("dust")
 class DustDiversifier(Diversifier):
     """Clustering-based diversification with query-aware re-ranking."""
 

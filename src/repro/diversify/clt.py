@@ -8,11 +8,13 @@ algorithm/parameters are the same hierarchical clustering DUST uses.
 
 from __future__ import annotations
 
+from repro.api.registry import register_diversifier
 from repro.cluster.agglomerative import AgglomerativeClustering
 from repro.cluster.medoids import cluster_medoids
 from repro.diversify.base import DiversificationRequest, Diversifier
 
 
+@register_diversifier("clt")
 class CLTDiversifier(Diversifier):
     """Cluster candidates into ``k`` groups and return each group's medoid."""
 

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_diversifier
 from repro.diversify.base import DiversificationRequest, Diversifier
 
 
+@register_diversifier("gmc")
 class GMCDiversifier(Diversifier):
     """Greedy Marginal Contribution diversification.
 

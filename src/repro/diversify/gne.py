@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_diversifier
 from repro.diversify.base import DiversificationRequest, Diversifier, mmr_objective
 from repro.diversify.gmc import GMCDiversifier
 from repro.utils.rng import seeded_rng
 
 
+@register_diversifier("gne")
 class GNEDiversifier(Diversifier):
     """Randomized greedy construction plus swap-based neighbourhood search."""
 

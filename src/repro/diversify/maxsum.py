@@ -10,9 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_diversifier
 from repro.diversify.base import DiversificationRequest, Diversifier
 
 
+@register_diversifier("maxsum")
 class MaxSumDiversifier(Diversifier):
     """Greedy selection under the Max-Sum (sum of pairwise distances) objective."""
 

@@ -12,10 +12,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_diversifier
 from repro.diversify.base import DiversificationRequest, Diversifier
 from repro.utils.rng import seeded_rng
 
 
+@register_diversifier("random")
 class RandomDiversifier(Diversifier):
     """Selects ``k`` candidates uniformly at random (without replacement)."""
 

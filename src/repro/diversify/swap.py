@@ -10,9 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_diversifier
 from repro.diversify.base import DiversificationRequest, Diversifier
 
 
+@register_diversifier("swap")
 class SwapDiversifier(Diversifier):
     """Relevance-first candidate set improved by diversity-increasing swaps.
 

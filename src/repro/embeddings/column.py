@@ -20,6 +20,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_column_encoder
 from repro.datalake.table import Table
 from repro.embeddings.base import ColumnEncoder, EncoderInfo, TupleEncoder, l2_normalize
 from repro.embeddings.serialization import serialize_column
@@ -28,6 +29,7 @@ from repro.embeddings.tokenizer import MAX_SEQUENCE_LENGTH, Tokenizer
 from repro.utils.text import is_null
 
 
+@register_column_encoder("cell-level")
 class CellLevelColumnEncoder(ColumnEncoder):
     """Average of per-cell embeddings (the paper's "Cell-level" variation)."""
 
@@ -54,6 +56,7 @@ class CellLevelColumnEncoder(ColumnEncoder):
         return l2_normalize(np.mean(embeddings, axis=0))
 
 
+@register_column_encoder("column-level")
 class ColumnLevelColumnEncoder(ColumnEncoder):
     """Single-sentence column embedding with TF-IDF token selection.
 
@@ -143,6 +146,7 @@ class ColumnLevelColumnEncoder(ColumnEncoder):
         return self._base.encode_many(sentences)
 
 
+@register_column_encoder("starmie")
 class StarmieColumnEncoder(ColumnEncoder):
     """Table-contextualised column embeddings (Starmie [11] stand-in).
 

@@ -24,6 +24,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.api.registry import register_tuple_encoder
 from repro.embeddings.base import EncoderInfo, TupleEncoder, l2_normalize
 from repro.embeddings.hashing import HashedVectorSpace
 from repro.embeddings.tokenizer import CLS_TOKEN, MAX_SEQUENCE_LENGTH, Tokenizer
@@ -130,6 +131,7 @@ def _cached_positions(length: int, dimension: int) -> np.ndarray:
     return _position_encoding(length, dimension)
 
 
+@register_tuple_encoder("bert")
 class BertLikeModel(ContextualEncoder):
     """Stand-in for pre-trained BERT-base (768-d, CLS pooling)."""
 
@@ -144,6 +146,7 @@ class BertLikeModel(ContextualEncoder):
         )
 
 
+@register_tuple_encoder("roberta")
 class RobertaLikeModel(ContextualEncoder):
     """Stand-in for pre-trained RoBERTa-base.
 
@@ -164,6 +167,7 @@ class RobertaLikeModel(ContextualEncoder):
         )
 
 
+@register_tuple_encoder("sbert")
 class SentenceBertLikeModel(ContextualEncoder):
     """Stand-in for Sentence-BERT (mean pooling over token states)."""
 

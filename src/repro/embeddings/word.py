@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.registry import register_tuple_encoder
 from repro.embeddings.base import EncoderInfo, TupleEncoder, l2_normalize
 from repro.embeddings.hashing import HashedVectorSpace
 from repro.embeddings.tokenizer import Tokenizer
@@ -74,6 +75,7 @@ class _StaticWordModel(TupleEncoder):
         return encoded
 
 
+@register_tuple_encoder("fasttext")
 class FastTextLikeModel(_StaticWordModel):
     """FastText-style model: token vectors composed from character n-grams.
 
@@ -88,6 +90,7 @@ class FastTextLikeModel(_StaticWordModel):
         )
 
 
+@register_tuple_encoder("glove")
 class GloveLikeModel(_StaticWordModel):
     """GloVe-style model: one independent vector per whole token."""
 

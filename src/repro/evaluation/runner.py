@@ -26,6 +26,7 @@ from repro.utils.errors import BenchmarkError
 from repro.vectorops import DistanceContext
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.api.facade import Discovery
     from repro.serving.service import QueryService
 
 
@@ -100,6 +101,7 @@ def prepare_query_workload(
     max_candidate_tuples: int | None = None,
     max_unionable_tables: int | None = None,
     search_service: "QueryService | None" = None,
+    discovery: "Discovery | None" = None,
     num_search_tables: int = 10,
 ) -> QueryWorkload:
     """Build the diversification workload of one query table.
@@ -120,8 +122,19 @@ def prepare_query_workload(
         unionable tables come from its top-``num_search_tables`` search
         rankings (cached and servable in parallel) instead of the benchmark's
         ground truth — the end-to-end setting of Sec. 6.5.
+    discovery:
+        An attached :class:`~repro.api.facade.Discovery` facade; its
+        configured backend (service-cached when the config enables serving)
+        supplies the unionable tables.  Mutually exclusive with
+        ``search_service``.
     """
-    if search_service is not None:
+    if search_service is not None and discovery is not None:
+        raise BenchmarkError(
+            "pass either search_service or discovery, not both"
+        )
+    if discovery is not None:
+        lake_tables = discovery.search_tables(query_table, num_search_tables)
+    elif search_service is not None:
         lake_tables = search_service.search_tables(query_table, num_search_tables)
     else:
         lake_tables = benchmark.unionable_tables(query_table.name)
@@ -170,24 +183,33 @@ def prepare_query_workloads(
     tuple_encoder: TupleEncoder,
     *,
     search_service: "QueryService | None" = None,
+    discovery: "Discovery | None" = None,
     num_search_tables: int = 10,
     **workload_kwargs,
 ) -> dict[str, QueryWorkload]:
     """Build the workloads of several query tables, name-keyed.
 
-    With a ``search_service``, the whole workload's top-k searches run first
-    through :meth:`~repro.serving.QueryService.search_many` (parallel, cached)
-    so the per-query preparation below is served from the result cache.
+    With a ``search_service`` (or a serving-enabled ``discovery`` facade),
+    the whole workload's top-k searches run first through
+    :meth:`~repro.serving.QueryService.search_many` (parallel, cached) so the
+    per-query preparation below is served from the result cache.
     """
+    if search_service is not None and discovery is not None:
+        raise BenchmarkError("pass either search_service or discovery, not both")
     queries = list(query_tables)
     if search_service is not None:
         search_service.search_many(queries, num_search_tables)
+    elif discovery is not None and discovery.config.serving is not None:
+        # Without a serving section there is no result cache, so a batch
+        # pre-pass would just double the search work.
+        discovery.search_many(queries, num_search_tables)
     return {
         query.name: prepare_query_workload(
             benchmark,
             query,
             tuple_encoder,
             search_service=search_service,
+            discovery=discovery,
             num_search_tables=num_search_tables,
             **workload_kwargs,
         )

@@ -15,6 +15,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.api.registry import register_searcher
 from repro.datalake.lake import DataLake
 from repro.datalake.profile import ColumnProfile, profile_column
 from repro.datalake.table import Table
@@ -82,6 +83,7 @@ def _distribution_similarity(first: ColumnProfile, second: ColumnProfile) -> flo
     return float(np.exp(-distance))
 
 
+@register_searcher("d3l")
 class D3LSearcher(TableUnionSearcher):
     """Aggregates name/value/format/embedding/distribution column signals.
 

@@ -15,6 +15,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_searcher
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.search.base import IndexState, TableUnionSearcher
@@ -22,6 +23,7 @@ from repro.search.overlap import column_token_set
 from repro.utils.errors import SearchError
 
 
+@register_searcher("oracle")
 class OracleSearcher(TableUnionSearcher):
     """Returns the labelled unionable tables of each query from ground truth.
 

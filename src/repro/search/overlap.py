@@ -14,6 +14,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.api.registry import register_searcher
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.search.base import IndexState, TableUnionSearcher
@@ -31,6 +32,7 @@ def column_token_set(table: Table, column: str) -> set[str]:
     }
 
 
+@register_searcher("overlap")
 class ValueOverlapSearcher(TableUnionSearcher):
     """Ranks lake tables by average best per-query-column value overlap.
 

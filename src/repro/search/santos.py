@@ -15,6 +15,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.api.registry import register_searcher
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.embeddings.word import FastTextLikeModel
@@ -23,6 +24,7 @@ from repro.utils.errors import SearchError
 from repro.utils.text import is_null
 
 
+@register_searcher("santos")
 class SantosSearcher(TableUnionSearcher):
     """Column-semantics plus binary-relationship union search.
 

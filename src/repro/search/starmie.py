@@ -15,6 +15,7 @@ from typing import Mapping
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
+from repro.api.registry import register_searcher
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.embeddings.column import StarmieColumnEncoder
@@ -24,6 +25,7 @@ from repro.search.base import IndexState, SearchResult, TableUnionSearcher
 from repro.utils.errors import SearchError
 
 
+@register_searcher("starmie")
 class StarmieSearcher(TableUnionSearcher):
     """Contextualized-column-embedding union search with bipartite scoring."""
 

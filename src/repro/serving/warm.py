@@ -6,116 +6,25 @@ Run as a module::
         --store .cache/index-store --benchmark ugen --seed 3 \
         --backends overlap d3l
 
+This entry point is a compatibility shim: the implementation moved to the
+unified CLI (``python -m repro warm`` / ``dust warm``), which resolves
+backends and benchmarks through the :mod:`repro.api.registry` registries.
 Every requested backend is warmed through
 :meth:`~repro.serving.store.IndexStore.load_or_build`: an existing valid
-entry is a fast no-op, anything else is built once and persisted.  The CI
-``bench-smoke`` job uses this to exercise the whole save/load path (and a
-second invocation to prove the warm path) on a tiny lake.
+entry is a fast no-op, anything else is built once and persisted.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
-from typing import Callable, Sequence
-
-from repro.benchgen import (
-    generate_santos_benchmark,
-    generate_tus_benchmark,
-    generate_ugen_benchmark,
-)
-from repro.benchgen.types import Benchmark
-from repro.search import (
-    D3LSearcher,
-    OracleSearcher,
-    SantosSearcher,
-    StarmieSearcher,
-    TableUnionSearcher,
-    ValueOverlapSearcher,
-)
-from repro.serving.store import IndexStore
-
-#: Factories take the benchmark so the oracle can receive its ground truth.
-BACKEND_FACTORIES: dict[str, Callable[[Benchmark], TableUnionSearcher]] = {
-    "overlap": lambda benchmark: ValueOverlapSearcher(),
-    "starmie": lambda benchmark: StarmieSearcher(),
-    "d3l": lambda benchmark: D3LSearcher(),
-    "santos": lambda benchmark: SantosSearcher(),
-    "oracle": lambda benchmark: OracleSearcher(benchmark.ground_truth),
-}
-
-
-def _build_benchmark(name: str, *, num_queries: int, seed: int) -> Benchmark:
-    if name == "ugen":
-        return generate_ugen_benchmark(num_queries=num_queries, seed=seed)
-    if name == "tus":
-        return generate_tus_benchmark(
-            num_base_tables=6,
-            base_rows=60,
-            lake_tables_per_base=6,
-            num_queries=num_queries,
-            seed=seed,
-        )
-    if name == "santos":
-        return generate_santos_benchmark(
-            num_base_tables=6,
-            base_rows=60,
-            lake_tables_per_base=6,
-            num_queries=num_queries,
-            seed=seed,
-        )
-    raise ValueError(f"unknown benchmark {name!r}")
+from typing import Sequence
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.serving.warm", description=__doc__.splitlines()[0]
-    )
-    parser.add_argument(
-        "--store",
-        default=".cache/index-store",
-        help="index store root directory (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--benchmark",
-        choices=("ugen", "tus", "santos"),
-        default="ugen",
-        help="benchmark lake to index (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--backends",
-        nargs="+",
-        choices=sorted(BACKEND_FACTORIES),
-        default=["overlap", "d3l", "santos"],
-        help="search backends to warm (default: %(default)s)",
-    )
-    parser.add_argument("--num-queries", type=int, default=2)
-    parser.add_argument("--seed", type=int, default=3)
-    args = parser.parse_args(argv)
+    from repro.api.cli import main as cli_main
 
-    benchmark = _build_benchmark(
-        args.benchmark, num_queries=args.num_queries, seed=args.seed
-    )
-    lake = benchmark.lake
-    store = IndexStore(args.store)
-    print(
-        f"warming {len(args.backends)} backend(s) over {args.benchmark!r} "
-        f"({lake.num_tables} tables, {lake.num_rows} rows), "
-        f"store={store.root}"
-    )
-    for backend in args.backends:
-        searcher = BACKEND_FACTORIES[backend](benchmark)
-        cached = store.contains(searcher, lake)
-        start = time.perf_counter()
-        store.load_or_build(searcher, lake)
-        elapsed = time.perf_counter() - start
-        action = "loaded" if cached else "built"
-        print(
-            f"  {backend:>8}: {action} in {elapsed:.3f}s -> "
-            f"{store.entry_dir(searcher, lake)}"
-        )
-    return 0
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    return cli_main(["warm", *argv])
 
 
 if __name__ == "__main__":

@@ -183,6 +183,18 @@ class TestConfigs:
         with pytest.raises(ConfigurationError):
             DustConfig(metric="hamming")
 
+    def test_dust_config_validates_clustering_parameters(self):
+        """Regression: a linkage/cluster_metric typo must fail at config time,
+        not deep inside the clustering stage."""
+        with pytest.raises(ConfigurationError, match="linkage"):
+            DustConfig(linkage="avg")
+        with pytest.raises(ConfigurationError, match="cluster_metric"):
+            DustConfig(cluster_metric="l2")
+        # The documented values all construct cleanly.
+        for linkage in ("average", "complete", "single"):
+            for cluster_metric in ("cosine", "euclidean", "manhattan"):
+                DustConfig(linkage=linkage, cluster_metric=cluster_metric)
+
     def test_pipeline_config_validation(self):
         with pytest.raises(ConfigurationError):
             PipelineConfig(num_search_tables=0)
