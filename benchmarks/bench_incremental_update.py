@@ -1,0 +1,167 @@
+"""Delta index maintenance vs full rebuild on a mutating lake.
+
+A production lake mutates continuously; before the incremental-maintenance
+subsystem, every ``add_table``/``remove_table``/``replace_table`` forced each
+backend to re-index the whole lake (and invalidated every persisted
+:class:`~repro.serving.IndexStore` entry).  This benchmark mutates ≤10% of a
+lake and times, per backend:
+
+* **rebuild**: a fresh searcher calling ``index(mutated_lake)`` — the only
+  option before this subsystem;
+* **delta**: the already-indexed searcher calling ``refresh()``, which diffs
+  content fingerprints and applies the net delta through ``update_index``.
+
+Rankings after the delta update must be **bit-identical** to the rebuild's on
+every query before any timing is reported; the default run gates on a ≥3x
+aggregate speedup.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_update.py
+
+``--smoke`` shrinks the lake and disables the speedup gate (for the CI
+bench-smoke job, which must catch breakage, not timing noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.benchgen import generate_tus_benchmark
+from repro.datalake import DataLake, Table
+from repro.search import (
+    D3LSearcher,
+    OracleSearcher,
+    SantosSearcher,
+    StarmieSearcher,
+    ValueOverlapSearcher,
+)
+
+#: Top-k retrieved per query when asserting ranking parity.
+K = 10
+#: Fraction of lake tables mutated (the acceptance scenario is ≤10%).
+MUTATION_FRACTION = 0.10
+
+BACKENDS = {
+    "overlap": lambda benchmark: ValueOverlapSearcher(),
+    "starmie": lambda benchmark: StarmieSearcher(),
+    "d3l": lambda benchmark: D3LSearcher(),
+    "santos": lambda benchmark: SantosSearcher(),
+    "oracle": lambda benchmark: OracleSearcher(benchmark.ground_truth),
+}
+
+
+def copy_lake(lake: DataLake) -> DataLake:
+    """An independent copy safe to mutate (rows are immutable tuples)."""
+    return DataLake((table.copy() for table in lake), name=lake.name)
+
+
+def mutate(lake: DataLake, protected: set[str]) -> None:
+    """Mutate ≤``MUTATION_FRACTION`` of the lake: adds, removals, replaces.
+
+    The budget is split roughly evenly between the three mutation kinds;
+    ground-truth tables are never removed so the oracle backend stays valid.
+    """
+    budget = max(3, int(lake.num_tables * MUTATION_FRACTION))
+    adds = budget - 2 * (budget // 3)
+    removes = replaces = budget // 3
+    removable = [table.name for table in lake if table.name not in protected]
+    assert len(removable) >= removes + replaces, "lake too small for the mutation plan"
+    for name in removable[:removes]:
+        lake.remove_table(name)
+    for i in range(adds):
+        lake.add_table(
+            Table(
+                name=f"mutation_added_{i}",
+                columns=["entity", "measure"],
+                rows=[(f"entity_{i}_{j}", str(100 * i + j)) for j in range(8)],
+            )
+        )
+    for name in removable[removes : removes + replaces]:
+        grown = lake.get(name).copy()
+        grown.append_rows(
+            [tuple(f"grown_{k}" for k in range(grown.num_columns))]
+        )
+        lake.replace_table(grown)
+
+
+def rankings(searcher, queries):
+    return [
+        [(hit.table_name, hit.score) for hit in searcher.search(query, K)]
+        for query in queries
+    ]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny lake, no speedup gate (CI bench-smoke mode)",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        choices=sorted(BACKENDS),
+        default=sorted(BACKENDS),
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        benchmark = generate_tus_benchmark(
+            num_base_tables=4, base_rows=30, lake_tables_per_base=4, num_queries=2, seed=7
+        )
+    else:
+        benchmark = generate_tus_benchmark(
+            num_base_tables=8, base_rows=80, lake_tables_per_base=8, num_queries=4, seed=7
+        )
+    queries = benchmark.query_tables
+    protected = {name for names in benchmark.ground_truth.values() for name in names}
+
+    probe = copy_lake(benchmark.lake)
+    before_tables = probe.num_tables
+    mutate(probe, protected)
+    print(
+        f"incremental update, lake={before_tables} tables -> {probe.num_tables}, "
+        f"mutation budget ~{MUTATION_FRACTION:.0%}, {len(queries)} queries, k={K}"
+    )
+    header = f"{'backend':>8} {'rebuild (s)':>12} {'delta (s)':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+
+    rebuild_total = delta_total = 0.0
+    for backend in args.backends:
+        factory = BACKENDS[backend]
+        lake = copy_lake(benchmark.lake)
+        maintained = factory(benchmark).index(lake)
+        mutate(lake, protected)
+
+        start = time.perf_counter()
+        maintained.refresh()
+        delta_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rebuilt = factory(benchmark).index(lake)
+        rebuild_time = time.perf_counter() - start
+
+        assert rankings(maintained, queries) == rankings(rebuilt, queries), (
+            f"delta-updated rankings diverged from rebuild for {backend}"
+        )
+        rebuild_total += rebuild_time
+        delta_total += delta_time
+        speedup = rebuild_time / delta_time if delta_time > 0 else float("inf")
+        print(f"{backend:>8} {rebuild_time:>12.3f} {delta_time:>10.3f} {speedup:>7.2f}x")
+
+    total_speedup = rebuild_total / delta_total if delta_total > 0 else float("inf")
+    print("-" * len(header))
+    print(f"{'total':>8} {rebuild_total:>12.3f} {delta_total:>10.3f} {total_speedup:>7.2f}x")
+    print("delta-updated rankings bit-identical to a from-scratch rebuild")
+    if not args.smoke and total_speedup < 3.0:
+        raise SystemExit(
+            f"delta-update speedup {total_speedup:.2f}x is below the 3x acceptance floor"
+        )
+
+
+if __name__ == "__main__":
+    main()

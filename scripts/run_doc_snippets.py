@@ -1,0 +1,101 @@
+"""Extract and execute the fenced python snippets in the documentation.
+
+Documentation rots silently unless it is executed; this runner is the CI
+`docs` job's teeth.  It scans markdown files for fenced code blocks whose
+info string is exactly ``python`` (blocks tagged ``text``, ``bash``, or
+``python no-run`` are skipped), then executes each file's snippets **in
+order, in one shared namespace per file** — so later snippets in a page can
+build on earlier ones, exactly as a reader would run them.
+
+Each file runs in its own temporary working directory, so snippets that
+write relative paths (e.g. ``.cache/index-store``) never dirty the
+repository, and with ``src/`` on ``sys.path`` so the docs exercise the
+checked-out code, not an installed copy.
+
+Run directly::
+
+    python scripts/run_doc_snippets.py            # docs/*.md + README.md
+    python scripts/run_doc_snippets.py docs/api.md --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ```python ... ``` fences; the info string must be exactly "python"
+#: (e.g. "python no-run" is deliberately not matched).
+_FENCE = re.compile(r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_snippets(markdown: str) -> list[str]:
+    """Return the executable python snippets of one markdown document."""
+    return [match.group(1) for match in _FENCE.finditer(markdown)]
+
+
+def run_file(path: Path) -> int:
+    """Execute every snippet of ``path``; returns the number executed."""
+    snippets = extract_snippets(path.read_text())
+    namespace: dict = {"__name__": f"docsnippet:{path.name}"}
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        os.chdir(scratch)
+        try:
+            for number, snippet in enumerate(snippets, start=1):
+                try:
+                    exec(compile(snippet, f"{path}#snippet{number}", "exec"), namespace)
+                except Exception:
+                    sys.stderr.write(
+                        f"\nFAILED: {path} snippet {number}/{len(snippets)}:\n"
+                        + "".join(
+                            f"    {line}\n" for line in snippet.strip().splitlines()
+                        )
+                    )
+                    raise
+        finally:
+            os.chdir(cwd)
+    return len(snippets)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files to run (default: docs/*.md and README.md)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the snippets that would run, without executing them",
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or [*sorted((REPO_ROOT / "docs").glob("*.md")), REPO_ROOT / "README.md"]
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+    total = 0
+    for path in files:
+        if args.list:
+            snippets = extract_snippets(path.read_text())
+            print(f"{path}: {len(snippets)} snippet(s)")
+            total += len(snippets)
+            continue
+        count = run_file(path)
+        total += count
+        print(f"ok: {path} ({count} snippet(s))")
+    print(f"{total} documentation snippet(s) {'found' if args.list else 'executed'} green")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -187,7 +187,10 @@ class Discovery:
     Components (encoders, diversifier, pipeline config) are resolved once at
     construction; search backends are built and indexed lazily per backend
     name when :meth:`attach`-ed to a lake — through the persistent index store
-    and query service when the config has a ``serving`` section.
+    and query service when the config has a ``serving`` section.  When the
+    attached lake mutates, :meth:`refresh` marks every built backend stale
+    and each re-synchronises (delta index update + result-cache drop) lazily
+    on its next query.
     """
 
     def __init__(self, config: DiscoveryConfig | None = None) -> None:
@@ -208,6 +211,9 @@ class Discovery:
         self._searchers: dict[str, TableUnionSearcher] = {}
         self._services: dict[str, QueryService] = {}
         self._pipelines: dict[str, DustPipeline] = {}
+        #: Backends whose index predates a :meth:`refresh` call; each one
+        #: re-synchronises lazily the next time it serves a query.
+        self._stale_backends: set[str] = set()
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -272,8 +278,34 @@ class Discovery:
         self._searchers.clear()
         self._services.clear()
         self._pipelines.clear()
+        self._stale_backends.clear()
         self._ensure_backend(self.config.searcher.name)
         return self
+
+    def refresh(self) -> "Discovery":
+        """Declare the attached lake mutated; backends re-sync lazily.
+
+        Call after mutating the attached lake
+        (``add_table``/``remove_table``/``replace_table``/``touch``).  Every
+        already-built backend is marked stale; each one delta-updates its
+        index (and, when serving, drops its now-stale result cache) the next
+        time a query routes through it — so a deployment with five indexed
+        backends pays one incremental update per backend *actually queried*,
+        not five up front.  Backends not yet built simply index the current
+        lake on first use, as always.
+        """
+        self.lake  # raises when not attached
+        self._stale_backends.update(self._searchers)
+        return self
+
+    def _sync_backend(self, key: str) -> None:
+        """Apply a pending lake delta to one built backend."""
+        service = self._services.get(key)
+        if service is not None:
+            service.refresh()
+        else:
+            self._searchers[key].refresh()
+        self._stale_backends.discard(key)
 
     @property
     def lake(self) -> DataLake:
@@ -304,6 +336,8 @@ class Discovery:
         key = self._backend_key(backend)
         searcher = self._searchers.get(key)
         if searcher is not None:
+            if key in self._stale_backends:
+                self._sync_backend(key)
             return searcher
         searcher = self._build_searcher(key)
         if self.config.serving is not None:
@@ -339,10 +373,14 @@ class Discovery:
     def pipeline(self, backend: str | None = None) -> DustPipeline:
         """The wired :class:`DustPipeline` serving ``backend``."""
         key = self._backend_key(backend)
+        # Always route through _ensure_backend: a cached pipeline holds the
+        # searcher by reference, and the backend may have a pending refresh()
+        # delta to apply before serving another query.
+        searcher = self._ensure_backend(key)
         pipeline = self._pipelines.get(key)
         if pipeline is None:
             pipeline = DustPipeline(
-                searcher=self._ensure_backend(key),
+                searcher=searcher,
                 column_encoder=self._column_encoder,
                 tuple_encoder=self._tuple_encoder,
                 config=self._pipeline_config,
@@ -451,6 +489,7 @@ class Discovery:
                 {
                     "name": self.lake.name,
                     "num_tables": self.lake.num_tables,
+                    "version": self.lake.version,
                     "fingerprint": self.lake.fingerprint(),
                 }
                 if self.is_attached

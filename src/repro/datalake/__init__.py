@@ -1,7 +1,14 @@
-"""Data-lake substrate: in-memory tables, columns, a catalog and CSV I/O."""
+"""Data-lake substrate: in-memory tables, columns, a versioned catalog, CSV I/O.
+
+The catalog (:class:`DataLake`) journals every ``add_table`` / ``remove_table``
+/ ``replace_table`` / ``touch`` mutation so downstream indexes can maintain
+themselves incrementally — see :class:`LakeDelta` and
+:meth:`~repro.search.base.TableUnionSearcher.update_index`.
+"""
 
 from repro.datalake.table import Column, Row, Table
 from repro.datalake.lake import DataLake
+from repro.datalake.delta import LakeDelta, diff_table_fingerprints
 from repro.datalake.io import read_csv, write_csv, table_from_rows
 from repro.datalake.profile import ColumnProfile, TableProfile, profile_column, profile_table
 
@@ -10,6 +17,8 @@ __all__ = [
     "Row",
     "Table",
     "DataLake",
+    "LakeDelta",
+    "diff_table_fingerprints",
     "read_csv",
     "write_csv",
     "table_from_rows",

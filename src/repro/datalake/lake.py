@@ -6,6 +6,14 @@ insertion order, enforces unique table names, supports the preprocessing rules
 used in the paper's experiments (drop all-null columns, drop query tables with
 fewer than three rows) and exposes simple statistics used by the Fig. 5
 benchmark-statistics experiment.
+
+Lakes are **versioned**: every mutation made through :meth:`~DataLake.add_table`,
+:meth:`~DataLake.remove_table`, :meth:`~DataLake.replace_table` or
+:meth:`~DataLake.touch` bumps :attr:`~DataLake.version` and is journaled, so
+:meth:`~DataLake.changes_since` can report the net
+:class:`~repro.datalake.delta.LakeDelta` between any two versions — the input
+to incremental index maintenance
+(:meth:`~repro.search.base.TableUnionSearcher.update_index`).
 """
 
 from __future__ import annotations
@@ -13,41 +21,160 @@ from __future__ import annotations
 import hashlib
 from typing import Callable, Iterable, Iterator
 
+from repro.datalake.delta import LakeDelta
 from repro.datalake.table import Table
 from repro.utils.errors import DataLakeError
 
+#: Journal entries kept before the oldest are dropped.  Versions older than
+#: the retained window make ``changes_since`` return ``None`` (callers then
+#: fall back to a fingerprint diff or a full rebuild), so the bound trades a
+#: rebuild on very stale consumers for bounded memory on long-lived lakes.
+MAX_JOURNAL_ENTRIES = 4096
+
 
 class DataLake:
-    """An ordered, name-indexed collection of tables."""
+    """An ordered, name-indexed, versioned collection of tables."""
 
     def __init__(self, tables: Iterable[Table] = (), *, name: str = "datalake") -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
+        self._version = 0
+        #: ``(version_after_the_op, "add" | "remove", table_name)`` entries.
+        self._journal: list[tuple[int, str, str]] = []
+        #: Versions at or below this floor predate the retained journal.
+        self._journal_floor = 0
         for table in tables:
-            self.add(table)
+            self.add_table(table)
+
+    # ------------------------------------------------------------- versioning
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (0 for an empty, untouched lake).
+
+        Only catalog-level operations bump the version; mutating a member
+        table in place (:meth:`Table.append_rows`) does not — call
+        :meth:`touch` afterwards to register the change, or rely on
+        fingerprint diffs (:meth:`table_fingerprints`), which always see
+        through in-place mutation.
+        """
+        return self._version
+
+    def _journal_op(self, op: str, name: str) -> None:
+        self._journal.append((self._version, op, name))
+        if len(self._journal) > MAX_JOURNAL_ENTRIES:
+            dropped = len(self._journal) - MAX_JOURNAL_ENTRIES
+            self._journal_floor = self._journal[dropped - 1][0]
+            del self._journal[:dropped]
+
+    def changes_since(self, version: int) -> LakeDelta | None:
+        """Net delta between ``version`` and the current version.
+
+        Returns ``None`` when the delta cannot be derived: ``version`` is in
+        the future, or it predates the retained journal window.  Callers
+        treat ``None`` as "assume everything changed" (full rebuild or
+        fingerprint diff).  Replaced/touched tables appear in both ``added``
+        and ``removed``; add-then-remove sequences cancel out.
+        """
+        if version > self._version or version < self._journal_floor:
+            return None
+        first_op: dict[str, str] = {}
+        for entry_version, op, table_name in self._journal:
+            if entry_version <= version:
+                continue
+            first_op.setdefault(table_name, op)
+        added: list[str] = []
+        removed: list[str] = []
+        for table_name, op in first_op.items():
+            present_at_base = op == "remove"
+            present_now = table_name in self._tables
+            if present_at_base:
+                removed.append(table_name)
+            if present_now:
+                added.append(table_name)
+        return LakeDelta(
+            base_version=version,
+            version=self._version,
+            added=tuple(added),
+            removed=tuple(removed),
+        )
 
     # ------------------------------------------------------------- mutation
-    def add(self, table: Table) -> None:
+    def add_table(self, table: Table) -> "DataLake":
         """Add ``table``; raises :class:`DataLakeError` on duplicate names."""
         if table.name in self._tables:
             raise DataLakeError(
                 f"data lake {self.name!r} already contains a table named {table.name!r}"
             )
         self._tables[table.name] = table
+        self._version += 1
+        self._journal_op("add", table.name)
+        return self
 
-    def add_all(self, tables: Iterable[Table]) -> None:
-        """Add every table in ``tables``."""
-        for table in tables:
-            self.add(table)
-
-    def remove(self, name: str) -> Table:
+    def remove_table(self, name: str) -> Table:
         """Remove and return the table called ``name``."""
         try:
-            return self._tables.pop(name)
+            removed = self._tables.pop(name)
         except KeyError as exc:
             raise DataLakeError(
                 f"data lake {self.name!r} has no table named {name!r}"
             ) from exc
+        self._version += 1
+        self._journal_op("remove", name)
+        return removed
+
+    def replace_table(self, table: Table) -> Table:
+        """Swap in a new version of an existing table; returns the old one.
+
+        Fingerprint-delta-aware: when the replacement's content fingerprint
+        equals the incumbent's, the call is a no-op (no version bump, no
+        journal entry), so re-loading an unchanged table never invalidates
+        indexes or caches keyed by lake content.
+        """
+        try:
+            previous = self._tables[table.name]
+        except KeyError as exc:
+            raise DataLakeError(
+                f"data lake {self.name!r} has no table named {table.name!r} to replace"
+            ) from exc
+        if previous.content_fingerprint() == table.content_fingerprint():
+            return previous
+        self._tables[table.name] = table
+        self._version += 1
+        self._journal_op("remove", table.name)
+        self._journal_op("add", table.name)
+        return previous
+
+    def touch(self, name: str) -> "DataLake":
+        """Register an in-place mutation of the table called ``name``.
+
+        :meth:`Table.append_rows` mutates a table without going through the
+        catalog, so no journal entry records it.  ``touch`` journals the
+        change as a replace (the table appears in both ``added`` and
+        ``removed`` of subsequent deltas), keeping version-based consumers
+        correct.  Fingerprint-diff consumers (:meth:`table_fingerprints`)
+        see in-place mutation even without ``touch``.
+        """
+        if name not in self._tables:
+            raise DataLakeError(
+                f"data lake {self.name!r} has no table named {name!r}"
+            )
+        self._version += 1
+        self._journal_op("remove", name)
+        self._journal_op("add", name)
+        return self
+
+    def add(self, table: Table) -> None:
+        """Alias of :meth:`add_table` (kept for backward compatibility)."""
+        self.add_table(table)
+
+    def add_all(self, tables: Iterable[Table]) -> None:
+        """Add every table in ``tables``."""
+        for table in tables:
+            self.add_table(table)
+
+    def remove(self, name: str) -> Table:
+        """Alias of :meth:`remove_table` (kept for backward compatibility)."""
+        return self.remove_table(name)
 
     # ------------------------------------------------------------- accessors
     def __contains__(self, name: str) -> bool:
@@ -96,13 +223,27 @@ class DataLake:
         """Content fingerprint of the lake: digest over every table, in order.
 
         The lake ``name`` is deliberately excluded so two lakes holding the
-        same tables share persisted indexes and cached search results.
+        same tables share persisted indexes and cached search results.  The
+        digest is recomputed on every call (each table's own fingerprint is
+        cached), so it reflects in-place ``append_rows`` mutations that the
+        version counter cannot see.
         """
         hasher = hashlib.sha256()
         for table in self:
             hasher.update(table.content_fingerprint().encode())
             hasher.update(b"\n")
         return hasher.hexdigest()
+
+    def table_fingerprints(self) -> dict[str, str]:
+        """``table name -> content fingerprint`` for every table, in order.
+
+        This is the lake's content snapshot used for delta derivation:
+        diffing two snapshots (:func:`~repro.datalake.delta.diff_table_fingerprints`)
+        yields the same net delta as the journal, works across processes (the
+        :class:`~repro.serving.store.IndexStore` persists the map in each
+        entry's manifest) and additionally catches in-place table mutation.
+        """
+        return {table.name: table.content_fingerprint() for table in self}
 
     def filter(self, predicate: Callable[[Table], bool], *, name: str | None = None) -> "DataLake":
         """Return a new lake with only the tables satisfying ``predicate``."""

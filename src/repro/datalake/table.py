@@ -196,7 +196,20 @@ class Table:
         )
 
     def append_rows(self, rows: Iterable[Row]) -> None:
-        """Append ``rows`` in place, validating arity."""
+        """Append ``rows`` in place, validating arity.
+
+        This is the one in-place mutation the value model supports, and it
+        invalidates the cached :meth:`content_fingerprint`, so every
+        content-keyed consumer — searcher query memos, the
+        :class:`~repro.serving.service.QueryService` result cache, persisted
+        :class:`~repro.serving.store.IndexStore` entries — sees the table as
+        new content on its next fingerprint read.  If the table is a member
+        of a :class:`~repro.datalake.lake.DataLake`, the lake's *version*
+        counter does not observe the mutation: call ``lake.touch(name)``
+        afterwards (or let fingerprint-diff consumers such as
+        ``searcher.refresh()`` detect it) so delta-maintained indexes
+        re-index this table.
+        """
         for row in rows:
             row = tuple(row)
             if len(row) != self.num_columns:
@@ -231,6 +244,11 @@ class Table:
         The digest is cached; :meth:`append_rows` invalidates it.  Mutating
         ``rows`` or ``columns`` directly bypasses the invalidation — go
         through the provided operations (which return new tables) instead.
+        Incremental index maintenance diffs these fingerprints
+        (:meth:`DataLake.table_fingerprints`) to decide which tables to
+        re-index, so a stale cached digest would mean a silently stale index
+        entry: the invalidation rule above is a correctness contract, not an
+        optimisation detail.
         """
         if self._fingerprint_cache is not None:
             return self._fingerprint_cache

@@ -3,7 +3,8 @@
 The paper builds on pre-trained FastText/GloVe word vectors and BERT-family
 transformer encoders.  Those models cannot be downloaded in this offline
 environment, so this package provides deterministic, from-scratch stand-ins
-(see DESIGN.md, Sec. 2) that expose the same interfaces:
+(hash-derived vector spaces, see :mod:`repro.embeddings.hashing`) that expose
+the same interfaces:
 
 * :class:`TupleEncoder` — ``encode_tuple(serialized_text) -> np.ndarray``
 * :class:`ColumnEncoder` — ``encode_column(values) -> np.ndarray``

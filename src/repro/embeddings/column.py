@@ -16,6 +16,8 @@ Three families are provided, mirroring Sec. 6.2.3:
 
 from __future__ import annotations
 
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 import numpy as np
@@ -27,6 +29,49 @@ from repro.embeddings.serialization import serialize_column
 from repro.embeddings.tfidf import TfidfSelector
 from repro.embeddings.tokenizer import MAX_SEQUENCE_LENGTH, Tokenizer
 from repro.utils.text import is_null
+
+
+@dataclass
+class CorpusContribution:
+    """One table's share of a TF-IDF corpus fit, in exact integer form.
+
+    A :class:`TfidfSelector` fit is a sum of per-document distinct-token
+    counts, so one table's contribution — the number of column documents it
+    adds and each token's document frequency among them — can be added to or
+    subtracted from a fitted state with plain integer arithmetic.  Summing
+    contributions in any order reproduces a from-scratch ``fit`` bit for bit,
+    which is what lets :class:`~repro.search.starmie.StarmieSearcher` maintain
+    its corpus statistics incrementally as the lake mutates.
+
+    ``oversized`` records whether any of the table's column documents exceeds
+    the encoder's token limit.  Only oversized documents are actually run
+    through TF-IDF selection at encode time, so a table with
+    ``oversized=False`` has embeddings that do not depend on the fitted state
+    at all — the fact that makes most corpus-changing deltas safe to apply
+    without re-encoding untouched tables.
+    """
+
+    num_documents: int = 0
+    document_frequency: Counter = field(default_factory=Counter)
+    oversized: bool = False
+
+    def to_state(self) -> dict:
+        """JSON-serializable form (round-trips through :meth:`from_state`)."""
+        return {
+            "num_documents": self.num_documents,
+            "document_frequency": dict(self.document_frequency),
+            "oversized": self.oversized,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CorpusContribution":
+        return cls(
+            num_documents=int(state["num_documents"]),
+            document_frequency=Counter(
+                {str(token): int(count) for token, count in state["document_frequency"].items()}
+            ),
+            oversized=bool(state["oversized"]),
+        )
 
 
 @register_column_encoder("cell-level")
@@ -116,6 +161,33 @@ class ColumnLevelColumnEncoder(ColumnEncoder):
         self._selector.load_state_dict(state)
         return self
 
+    def corpus_contribution(
+        self, columns: Sequence[tuple[str, Sequence[Any]]]
+    ) -> CorpusContribution:
+        """One table's :class:`CorpusContribution` to the TF-IDF corpus.
+
+        Tokenizes the ``(header, values)`` columns exactly as
+        :meth:`fit_corpus` would and returns their document count, distinct
+        per-document token frequencies and whether any document exceeds the
+        token limit (i.e. whether encoding these columns consults the fitted
+        selector).  Summing the contributions of every table in a lake and
+        loading the total via :meth:`load_fit_state` is bit-identical to
+        calling :meth:`fit_tables` on the same lake.
+        """
+        documents = [
+            self._tokenizer.tokenize_text(serialize_column(header, values))
+            for header, values in columns
+        ]
+        frequency: Counter = Counter()
+        for tokens in documents:
+            for token in set(tokens):
+                frequency[token] += 1
+        return CorpusContribution(
+            num_documents=len(documents),
+            document_frequency=frequency,
+            oversized=any(len(tokens) > self._token_limit for tokens in documents),
+        )
+
     def encode_column(self, header: str, values: Sequence[Any]) -> np.ndarray:
         return self.encode_columns([(header, values)])[0]
 
@@ -202,6 +274,12 @@ class StarmieColumnEncoder(ColumnEncoder):
         """Restore a fitted TF-IDF selector dumped by :meth:`fit_state`."""
         self._column_encoder.load_fit_state(state)
         return self
+
+    def corpus_contribution(self, table: Table) -> CorpusContribution:
+        """The table's :class:`CorpusContribution` to the TF-IDF corpus."""
+        return self._column_encoder.corpus_contribution(
+            [(column, table.column_values(column)) for column in table.columns]
+        )
 
     def encode_column(self, header: str, values: Sequence[Any]) -> np.ndarray:
         """Encode a column without table context (falls back to column-level)."""

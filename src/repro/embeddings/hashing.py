@@ -6,8 +6,7 @@ token (and, optionally, of its character n-grams).  Averaging token vectors is
 then a random projection of the bag-of-words representation: two pieces of
 text that share vocabulary land close together, disjoint vocabularies land far
 apart.  That is exactly the property the paper relies on word/transformer
-embeddings for, which makes this an adequate offline substitute (DESIGN.md,
-Sec. 2).
+embeddings for, which makes this an adequate offline substitute.
 """
 
 from __future__ import annotations

@@ -4,6 +4,11 @@ Given a query table, these searchers return the top-k data lake tables ranked
 by unionability.  DUST (Algorithm 1, line 3) can use any of them; the paper's
 experiments use Starmie and D3L as end-to-end baselines (Sec. 6.5) plus a
 ground-truth oracle when isolating the diversification stage.
+
+Indexes are maintainable, not just buildable: every backend supports
+``update_index(added=..., removed=...)``/``refresh()`` for mutating lakes
+(with a full-rebuild correctness fallback) and ``index_state()``/
+``load_index_state()`` for cross-process persistence.
 """
 
 from repro.search.base import TableUnionSearcher, SearchResult

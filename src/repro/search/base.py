@@ -6,13 +6,14 @@ import abc
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
+from repro.datalake.delta import diff_table_fingerprints
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
-from repro.utils.errors import SearchError
+from repro.utils.errors import IndexDeltaUnsupported, SearchError
 
 #: JSON-serializable index metadata + named numpy payloads, as produced by
 #: :meth:`TableUnionSearcher.index_state` and consumed by ``load_index_state``.
@@ -32,17 +33,29 @@ class TableUnionSearcher(abc.ABC):
     """Base class for top-k unionable table search.
 
     Lifecycle: construct, :meth:`index` a data lake once, then call
-    :meth:`search` for each query table.  Implementations must not mutate the
-    indexed lake.
+    :meth:`search` for each query table.  When the lake mutates afterwards
+    (``add_table``/``remove_table``/``replace_table``), :meth:`update_index`
+    applies the delta incrementally — or, for backends without an incremental
+    path, rebuilds — and :meth:`refresh` derives the delta automatically from
+    content fingerprints.  Implementations must not mutate the indexed lake
+    themselves.
     """
 
     def __init__(self) -> None:
         self._lake: DataLake | None = None
+        #: ``table name -> content fingerprint`` snapshot of the lake as last
+        #: indexed; :meth:`refresh` diffs the live lake against it.
+        self._indexed_table_fps: dict[str, str] = {}
 
     # ------------------------------------------------------------------ index
     @abc.abstractmethod
     def _build_index(self, lake: DataLake) -> None:
         """Build implementation-specific index structures for ``lake``."""
+
+    def _record_indexed_lake(self, lake: DataLake) -> None:
+        """Bind ``lake`` and snapshot its content for later delta derivation."""
+        self._lake = lake
+        self._indexed_table_fps = lake.table_fingerprints()
 
     def index(self, lake: DataLake) -> "TableUnionSearcher":
         """Index ``lake`` for subsequent searches.
@@ -55,7 +68,89 @@ class TableUnionSearcher(abc.ABC):
         if lake.num_tables == 0:
             raise SearchError("cannot index an empty data lake")
         self._build_index(lake)
-        self._lake = lake
+        self._record_indexed_lake(lake)
+        return self
+
+    # ----------------------------------------------------- incremental updates
+    def _apply_index_delta(self, added: list[Table], removed: list[str]) -> None:
+        """Implementation hook: apply a lake delta to the built index.
+
+        ``added`` holds the tables to (re-)index — they are already members
+        of :attr:`lake` — and ``removed`` the names whose index entries must
+        be dropped; a replaced table appears in both.  Implementations that
+        cannot honour a particular delta incrementally (for example because
+        it invalidates corpus-level statistics baked into other tables'
+        entries) raise :class:`IndexDeltaUnsupported`;
+        :meth:`update_index` then falls back to a full rebuild.  The default
+        declares every delta unsupported, so new backends are correct before
+        they are fast.
+        """
+        raise IndexDeltaUnsupported(
+            f"{type(self).__name__} has no incremental index maintenance"
+        )
+
+    def update_index(
+        self,
+        *,
+        added: Iterable[Table] = (),
+        removed: Iterable[str] = (),
+    ) -> "TableUnionSearcher":
+        """Apply a lake mutation delta to the built index.
+
+        Call after mutating the indexed lake in place: ``added`` are the
+        tables that joined (or replaced an incumbent — list the name in
+        ``removed`` too), ``removed`` the names that left.  The update is
+        exactly as correct as a rebuild: backends either apply the delta
+        with bit-identical results or raise
+        :class:`IndexDeltaUnsupported`, in which case this method silently
+        falls back to ``_build_index`` over the whole lake.  Prefer
+        :meth:`refresh`, which derives the delta for you.
+        """
+        if self._lake is None:
+            raise SearchError(
+                f"{type(self).__name__}.update_index() called before index()"
+            )
+        lake = self._lake
+        if lake.num_tables == 0:
+            raise SearchError("cannot maintain an index over an empty data lake")
+        added = list(added)
+        removed = [str(name) for name in removed]
+        added_names = {table.name for table in added}
+        for table in added:
+            if table.name not in lake:
+                raise SearchError(
+                    f"added table {table.name!r} is not a member of the indexed lake"
+                )
+        for name in removed:
+            if name in lake and name not in added_names:
+                raise SearchError(
+                    f"removed table {name!r} is still a member of the indexed lake"
+                )
+        if added or removed:
+            try:
+                self._apply_index_delta(added, removed)
+            except IndexDeltaUnsupported:
+                self._build_index(lake)
+        self._record_indexed_lake(lake)
+        return self
+
+    def refresh(self) -> "TableUnionSearcher":
+        """Re-synchronise the index with the (mutated) indexed lake.
+
+        Diffs the lake's current content fingerprints against the snapshot
+        taken when the index was last built/updated, so it sees every kind
+        of change — catalog mutations *and* in-place ``append_rows`` — and
+        applies the net delta through :meth:`update_index`.  A no-op when
+        nothing changed.
+        """
+        lake = self.lake  # raises before index()
+        added_names, removed = diff_table_fingerprints(
+            self._indexed_table_fps, lake.table_fingerprints()
+        )
+        if added_names or removed:
+            self.update_index(
+                added=[lake.get(name) for name in added_names], removed=removed
+            )
         return self
 
     @property
@@ -131,7 +226,7 @@ class TableUnionSearcher(abc.ABC):
         if lake.num_tables == 0:
             raise SearchError("cannot load an index for an empty data lake")
         self._load_index_state(lake, state, arrays)
-        self._lake = lake
+        self._record_indexed_lake(lake)
         return self
 
     # ----------------------------------------------------------------- search

@@ -121,23 +121,38 @@ class D3LSearcher(TableUnionSearcher):
         ][:64]
         return self._word_model.encode_text(" ".join([column, *values]))
 
+    def _index_table(self, table: Table) -> None:
+        self._profiles[table.name] = {}
+        self._token_sets[table.name] = {}
+        self._formats[table.name] = {}
+        self._embeddings[table.name] = {}
+        for column in table.columns:
+            self._profiles[table.name][column] = profile_column(table, column)
+            self._token_sets[table.name][column] = column_token_set(table, column)
+            self._formats[table.name][column] = format_histogram(
+                table.column_values(column)
+            )
+            self._embeddings[table.name][column] = self._column_embedding(
+                table, column
+            )
+
     def _build_index(self, lake: DataLake) -> None:
         self._profiles, self._token_sets = {}, {}
         self._formats, self._embeddings = {}, {}
         for table in lake:
-            self._profiles[table.name] = {}
-            self._token_sets[table.name] = {}
-            self._formats[table.name] = {}
-            self._embeddings[table.name] = {}
-            for column in table.columns:
-                self._profiles[table.name][column] = profile_column(table, column)
-                self._token_sets[table.name][column] = column_token_set(table, column)
-                self._formats[table.name][column] = format_histogram(
-                    table.column_values(column)
-                )
-                self._embeddings[table.name][column] = self._column_embedding(
-                    table, column
-                )
+            self._index_table(table)
+
+    def _apply_index_delta(self, added: list[Table], removed: list[str]) -> None:
+        """Every D3L signal is derived per (table, column) from a stateless
+        substrate, so a delta only touches the mutated tables' entries and is
+        bit-identical to a rebuild by construction."""
+        for name in removed:
+            self._profiles.pop(name, None)
+            self._token_sets.pop(name, None)
+            self._formats.pop(name, None)
+            self._embeddings.pop(name, None)
+        for table in added:
+            self._index_table(table)
 
     # ----------------------------------------------------- index serialization
     def config_state(self) -> dict:

@@ -116,6 +116,24 @@ class MinHashLSHIndex:
             self._buckets[band].setdefault(band_values, set()).add(key)
         return signature
 
+    def remove(self, key: str) -> MinHashSignature:
+        """Remove ``key`` from the index and return its signature.
+
+        Empty band buckets are deleted so a long add/remove churn does not
+        leak bucket entries.  Raises :class:`SearchError` for unknown keys.
+        """
+        try:
+            signature = self._signatures.pop(key)
+        except KeyError as exc:
+            raise SearchError(f"key {key!r} not present in the LSH index") from exc
+        for band, band_values in enumerate(self._bands(signature)):
+            bucket = self._buckets[band].get(band_values)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._buckets[band][band_values]
+        return signature
+
     def keys(self) -> list[str]:
         """Indexed keys in insertion order."""
         return list(self._signatures)

@@ -52,6 +52,13 @@ class OracleSearcher(TableUnionSearcher):
                 f"ground truth references tables absent from the lake: {sorted(missing)[:5]}"
             )
 
+    def _apply_index_delta(self, added: list[Table], removed: list[str]) -> None:
+        """The oracle has no materialised index — scores read the live lake —
+        so a delta only needs the build-time validation re-run: removing a
+        table that the ground truth still references must fail loudly rather
+        than silently return shorter result lists."""
+        self._build_index(self.lake)
+
     # ----------------------------------------------------- index serialization
     def config_state(self) -> dict:
         # The ground truth *is* the oracle's configuration: two oracles with

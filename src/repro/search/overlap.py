@@ -117,16 +117,38 @@ class ValueOverlapSearcher(TableUnionSearcher):
         return matches
 
     # ------------------------------------------------------------------ index
+    def _add_table_columns(self, table: Table) -> None:
+        assert self._index is not None
+        keys = []
+        for column in table.columns:
+            key = f"{table.name}\x1f{column}"
+            self._index.add(key, column_token_set(table, column))
+            keys.append(key)
+        self._columns_by_table[table.name] = keys
+
     def _build_index(self, lake: DataLake) -> None:
         self._index = MinHashLSHIndex(self.num_hashes, self.num_bands)
         self._columns_by_table = {}
         for table in lake:
-            keys = []
-            for column in table.columns:
-                key = f"{table.name}\x1f{column}"
-                self._index.add(key, column_token_set(table, column))
-                keys.append(key)
-            self._columns_by_table[table.name] = keys
+            self._add_table_columns(table)
+        self._finalize_matrix()
+
+    def _apply_index_delta(self, added: list[Table], removed: list[str]) -> None:
+        """MinHash signatures are per column, so deltas are exact and local.
+
+        Removed tables' column signatures leave the LSH index, added tables'
+        are hashed in, and the stacked scoring matrix is restacked from the
+        per-column signatures (cheap relative to hashing cell values).  Row
+        order in the matrix differs from a fresh build, but scoring reduces
+        each table's rows with ``max``, so rankings are order-independent.
+        """
+        assert self._index is not None
+        for name in removed:
+            for key in self._columns_by_table.pop(name, ()):
+                if key in self._index:
+                    self._index.remove(key)
+        for table in added:
+            self._add_table_columns(table)
         self._finalize_matrix()
 
     # ----------------------------------------------------- index serialization

@@ -118,16 +118,26 @@ class SantosSearcher(TableUnionSearcher):
         return vectors
 
     # ------------------------------------------------------------------- index
+    def _index_table(self, table: Table) -> None:
+        self._column_vectors[table.name] = {
+            column: self._column_vector(table, column) for column in table.columns
+        }
+        self._relationship_vectors[table.name] = self._table_relationships(table)
+
     def _build_index(self, lake: DataLake) -> None:
-        self._column_vectors = {
-            table.name: {
-                column: self._column_vector(table, column) for column in table.columns
-            }
-            for table in lake
-        }
-        self._relationship_vectors = {
-            table.name: self._table_relationships(table) for table in lake
-        }
+        self._column_vectors, self._relationship_vectors = {}, {}
+        for table in lake:
+            self._index_table(table)
+
+    def _apply_index_delta(self, added: list[Table], removed: list[str]) -> None:
+        """Column and relationship vectors are per table over a stateless word
+        model, so deltas only touch the mutated tables' entries and are
+        bit-identical to a rebuild by construction."""
+        for name in removed:
+            self._column_vectors.pop(name, None)
+            self._relationship_vectors.pop(name, None)
+        for table in added:
+            self._index_table(table)
 
     # ----------------------------------------------------- index serialization
     def config_state(self) -> dict:

@@ -10,6 +10,7 @@ every data lake *tuple* as a single-row table and return the top-k tuples.
 from __future__ import annotations
 
 import threading
+from collections import Counter
 from typing import Mapping
 
 import numpy as np
@@ -18,16 +19,20 @@ from scipy.optimize import linear_sum_assignment
 from repro.api.registry import register_searcher
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
-from repro.embeddings.column import StarmieColumnEncoder
+from repro.embeddings.column import CorpusContribution, StarmieColumnEncoder
 from repro.embeddings.contextual import RobertaLikeModel
 from repro.embeddings.serialization import AlignedTuple
 from repro.search.base import IndexState, SearchResult, TableUnionSearcher
-from repro.utils.errors import SearchError
+from repro.utils.errors import IndexDeltaUnsupported, SearchError
 
 
 @register_searcher("starmie")
 class StarmieSearcher(TableUnionSearcher):
     """Contextualized-column-embedding union search with bipartite scoring."""
+
+    #: v2 adds the per-table TF-IDF corpus contributions that incremental
+    #: updates need; v1 entries become index-store misses and are rebuilt.
+    INDEX_FORMAT_VERSION = 2
 
     def __init__(
         self,
@@ -39,17 +44,79 @@ class StarmieSearcher(TableUnionSearcher):
         self.column_encoder = column_encoder or StarmieColumnEncoder(RobertaLikeModel())
         self.min_similarity = min_similarity
         self._column_embeddings: dict[str, dict[str, np.ndarray]] = {}
+        #: Per-table TF-IDF corpus contributions; their sum *is* the fitted
+        #: selector state, which is what makes corpus deltas exact.
+        self._corpus: dict[str, CorpusContribution] = {}
         self._query_memo = threading.local()
 
     # ------------------------------------------------------------------ index
+    def _corpus_fit_state(self) -> dict:
+        """The selector fit state implied by ``self._corpus``.
+
+        Summing per-table contributions in any order is bit-identical to
+        ``fit_tables`` over the same tables: both count each token once per
+        column document, in plain integer arithmetic.
+        """
+        num_documents = 0
+        frequency: Counter = Counter()
+        for contribution in self._corpus.values():
+            num_documents += contribution.num_documents
+            frequency.update(contribution.document_frequency)
+        return {"num_documents": num_documents, "document_frequency": dict(frequency)}
+
+    def _fit_from_corpus(self) -> None:
+        """Load the selector fit state implied by ``self._corpus``."""
+        self.column_encoder.load_fit_state(self._corpus_fit_state())
+
     def _build_index(self, lake: DataLake) -> None:
-        self.column_encoder.fit_tables(lake.tables())
+        self._corpus = {
+            table.name: self.column_encoder.corpus_contribution(table) for table in lake
+        }
+        self._fit_from_corpus()
         self._column_embeddings = {
             table.name: self.column_encoder.encode_table_columns(table) for table in lake
         }
         # Query embeddings depend on the fitted TF-IDF state: drop every
         # thread's memo whenever the index (and thus that state) changes.
         self._query_memo = threading.local()
+
+    def _apply_index_delta(self, added: list[Table], removed: list[str]) -> None:
+        """Maintain the corpus statistics exactly; re-encode only what moved.
+
+        The fitted TF-IDF state after the delta is derived by integer
+        arithmetic on the per-table contributions, so it equals a refit over
+        the mutated lake bit for bit.  Embeddings of retained tables only
+        consult that state when one of their column documents exceeds the
+        token limit (``CorpusContribution.oversized``); if the corpus changed
+        *and* a retained table is oversized, its persisted embedding would
+        diverge from a rebuild, so the delta is declared unsupported and the
+        base class rebuilds instead — the correctness fallback.
+        """
+        before = self.column_encoder.fit_state()
+        for name in removed:
+            self._corpus.pop(name, None)
+        retained_oversized = any(
+            contribution.oversized for contribution in self._corpus.values()
+        )
+        self._corpus.update(
+            {table.name: self.column_encoder.corpus_contribution(table) for table in added}
+        )
+        after = self._corpus_fit_state()
+        corpus_changed = after != before
+        if corpus_changed and retained_oversized:
+            raise IndexDeltaUnsupported(
+                "corpus statistics changed and a retained table's embeddings "
+                "depend on them (oversized column documents); rebuilding"
+            )
+        if corpus_changed:
+            self.column_encoder.load_fit_state(after)
+            self._query_memo = threading.local()
+        for name in removed:
+            self._column_embeddings.pop(name, None)
+        for table in added:
+            self._column_embeddings[table.name] = self.column_encoder.encode_table_columns(
+                table
+            )
 
     def _query_embeddings(self, query_table: Table) -> dict[str, np.ndarray]:
         # The base class scores the query against every lake table through
@@ -92,7 +159,14 @@ class StarmieSearcher(TableUnionSearcher):
             if vectors
             else np.zeros((0, dimension), dtype=np.float64)
         )
-        state = {"tables": tables, "tfidf": self.column_encoder.fit_state()}
+        state = {
+            "tables": tables,
+            "tfidf": self.column_encoder.fit_state(),
+            "corpus": {
+                name: contribution.to_state()
+                for name, contribution in self._corpus.items()
+            },
+        }
         return state, {"column_embeddings": matrix}
 
     def _load_index_state(
@@ -100,6 +174,10 @@ class StarmieSearcher(TableUnionSearcher):
     ) -> None:
         self._query_memo = threading.local()
         self.column_encoder.load_fit_state(state["tfidf"])
+        self._corpus = {
+            name: CorpusContribution.from_state(contribution)
+            for name, contribution in state["corpus"].items()
+        }
         matrix = np.asarray(arrays["column_embeddings"], dtype=np.float64)
         expected = sum(len(entry["columns"]) for entry in state["tables"])
         if expected != matrix.shape[0]:

@@ -5,12 +5,16 @@ build-once/serve-many system:
 
 * :class:`~repro.serving.store.IndexStore` — persists each backend's built
   lake index to disk (versioned manifest, checksum-validated payloads) keyed
-  by backend configuration and lake content fingerprints.
+  by backend configuration and lake content fingerprints.  Delta-aware: when
+  a mutated lake misses every entry, ``load_or_build`` updates the closest
+  prior snapshot through ``update_index`` instead of rebuilding.
 * :class:`~repro.serving.service.QueryService` — executes multi-query
   workloads in parallel with a bounded LRU result cache, returning rankings
-  bit-identical to direct in-process search.
-* ``python -m repro.serving.warm`` — pre-builds and stores the indexes of a
-  benchmark lake (used by the CI bench-smoke job).
+  bit-identical to direct in-process search; ``refresh()`` follows in-place
+  lake mutation (delta index update + cache invalidation).
+* ``python -m repro.serving.warm`` — compatibility shim over ``dust warm``:
+  pre-builds and stores the indexes of a benchmark lake (used by the CI
+  bench-smoke job).
 """
 
 from repro.serving.store import IndexStore, STORE_FORMAT_VERSION

@@ -20,7 +20,12 @@ workloads:
 * **Persistence** — give the service an
   :class:`~repro.serving.store.IndexStore` and :meth:`warm` restores the
   lake's index from disk instead of rebuilding it (building and persisting on
-  first contact).
+  first contact, delta-updating the closest prior snapshot when the lake's
+  content moved).
+* **Mutation** — when the warmed lake mutates in place
+  (``add_table``/``remove_table``/``replace_table``), :meth:`refresh` applies
+  the delta to the index, re-persists it and drops the now-stale result
+  cache; until then queries keep serving the previously indexed content.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.search.base import SearchResult, TableUnionSearcher
 from repro.serving.store import IndexStore
-from repro.utils.errors import ServingError
+from repro.utils.errors import SearchError, ServingError
 
 #: Cache key: (backend config fingerprint, lake fingerprint, query fingerprint, k).
 CacheKey = tuple[str, str, str, int]
@@ -129,6 +134,46 @@ class QueryService:
     def is_warm(self) -> bool:
         """Whether the underlying searcher holds a lake index."""
         return self.searcher.is_indexed
+
+    # --------------------------------------------------------------- refresh
+    def refresh(self) -> "QueryService":
+        """Re-synchronise with the warmed lake after it mutated in place.
+
+        The searcher applies the net content delta incrementally
+        (:meth:`~repro.search.base.TableUnionSearcher.refresh` — a rebuild
+        only where a backend cannot apply it), the updated index is persisted
+        over the store when one is configured, and the result cache is
+        dropped: every cached ranking was computed against the previous lake
+        content, and serving it against the new fingerprint would be a silent
+        staleness bug.  A no-op when the lake content is unchanged, so it is
+        safe (and cheap) to call defensively before serving a batch.
+
+        Until ``refresh()`` is called, queries keep being served — and
+        cached — against the *previously indexed* content, which is the
+        documented consistency model: mutations become visible at refresh
+        points, never mid-workload.
+        """
+        if not self.searcher.is_indexed:
+            raise ServingError("QueryService.refresh() called before warm()")
+        lake = self.searcher.lake
+        fingerprint = lake.fingerprint()
+        if fingerprint == self._lake_fingerprint:
+            return self
+        self.searcher.refresh()
+        # Swap the cache/fingerprint *before* persistence: if store.save
+        # fails (full disk, permissions), the in-memory service must already
+        # be consistent with the updated index — otherwise later searches
+        # would key into the stale cache with the old fingerprint and serve
+        # mixed-era rankings.
+        with self._lock:
+            self._cache.clear()
+            self._lake_fingerprint = fingerprint
+        if self.store is not None:
+            try:
+                self.store.save(self.searcher, lake)
+            except SearchError:
+                pass  # backends without index_state() still serve in-process
+        return self
 
     # ----------------------------------------------------------------- search
     def _key(self, query_table: Table, k: int) -> CacheKey:

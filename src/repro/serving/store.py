@@ -18,6 +18,14 @@ once and reused across runs *and* processes:
 The manifest is written last, so a crashed save never produces a loadable
 entry; both payload files are checksum-validated on load and any mismatch is
 reported as corruption rather than silently served.
+
+Each manifest also records the lake's per-table content fingerprints, which
+makes the store **delta-aware**: when a mutated lake misses every entry,
+:meth:`IndexStore.load_or_build` finds the prior snapshot with the smallest
+table diff, loads it, applies the diff through
+:meth:`~repro.search.base.TableUnionSearcher.update_index` and persists the
+result as a new entry — bit-identical to a rebuild, at the cost of indexing
+only the changed tables.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 from pathlib import Path
 
 import numpy as np
@@ -33,7 +42,9 @@ from repro.datalake.lake import DataLake
 from repro.search.base import TableUnionSearcher
 from repro.utils.errors import IndexStoreMiss, SearchError, ServingError
 
-#: Bump when the on-disk layout of store entries changes.
+#: Bump when the on-disk layout of store entries changes.  (The
+#: ``table_fingerprints`` manifest field is additive: entries written without
+#: it still load exactly, they just cannot anchor delta updates.)
 STORE_FORMAT_VERSION = 1
 
 _MANIFEST = "manifest.json"
@@ -50,16 +61,48 @@ def _file_checksum(path: Path) -> str:
 
 
 class IndexStore:
-    """A directory of persisted search indexes keyed by backend and lake."""
+    """A directory of persisted search indexes keyed by backend and lake.
 
-    def __init__(self, root: str | Path) -> None:
+    ``max_delta_fraction`` bounds when :meth:`load_or_build` prefers updating
+    a prior snapshot over rebuilding: a delta is applied only when it touches
+    at most that fraction of the lake's tables (beyond it, a rebuild tends to
+    be as cheap and keeps the store from chaining long delta lineages).
+
+    ``max_entries_per_backend`` bounds disk growth under continuous lake
+    mutation: every refresh persists a full entry for the new lake content,
+    so without a bound a long-lived deployment would accumulate one snapshot
+    per content version forever.  :meth:`save` evicts the oldest superseded
+    entries of the same backend beyond the bound (``None`` disables eviction).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_delta_fraction: float = 0.5,
+        max_entries_per_backend: int | None = 8,
+    ) -> None:
+        if not 0.0 <= max_delta_fraction <= 1.0:
+            raise ServingError(
+                f"max_delta_fraction must be in [0, 1], got {max_delta_fraction}"
+            )
+        if max_entries_per_backend is not None and max_entries_per_backend < 1:
+            raise ServingError(
+                f"max_entries_per_backend must be >= 1 or None, "
+                f"got {max_entries_per_backend}"
+            )
         self.root = Path(root)
+        self.max_delta_fraction = max_delta_fraction
+        self.max_entries_per_backend = max_entries_per_backend
 
     # ------------------------------------------------------------- addressing
+    def backend_dir(self, searcher: TableUnionSearcher) -> Path:
+        """Directory holding every persisted lake entry of one backend config."""
+        return self.root / f"{type(searcher).__name__}-{searcher.config_fingerprint()[:12]}"
+
     def entry_dir(self, searcher: TableUnionSearcher, lake: DataLake) -> Path:
         """Directory holding the persisted index of ``searcher`` over ``lake``."""
-        backend = f"{type(searcher).__name__}-{searcher.config_fingerprint()[:12]}"
-        return self.root / backend / lake.fingerprint()[:16]
+        return self.backend_dir(searcher) / lake.fingerprint()[:16]
 
     def contains(self, searcher: TableUnionSearcher, lake: DataLake) -> bool:
         """Whether a completed entry exists (no payload validation)."""
@@ -96,6 +139,7 @@ class IndexStore:
             "config_fingerprint": searcher.config_fingerprint(),
             "index_format": searcher.INDEX_FORMAT_VERSION,
             "lake_fingerprint": lake.fingerprint(),
+            "table_fingerprints": lake.table_fingerprints(),
             "num_tables": lake.num_tables,
             "checksums": {
                 _STATE: _file_checksum(state_path),
@@ -105,7 +149,31 @@ class IndexStore:
         tmp_path = entry / f"{_MANIFEST}.tmp"
         tmp_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
         os.replace(tmp_path, manifest_path)
+        self._evict_superseded(entry)
         return entry
+
+    def _evict_superseded(self, latest_entry: Path) -> None:
+        """Keep the newest ``max_entries_per_backend`` entries of one backend.
+
+        Called after every save so a continuously mutating lake cannot grow
+        the store without bound — superseded lake-content snapshots beyond
+        the bound are removed oldest-first (by manifest mtime), never the
+        entry just written.  Best-effort: eviction failures are ignored so a
+        read-only race never breaks a save.
+        """
+        if self.max_entries_per_backend is None:
+            return
+        aged: list[tuple[float, Path]] = []
+        for manifest_path in latest_entry.parent.glob(f"*/{_MANIFEST}"):
+            if manifest_path.parent == latest_entry:
+                continue
+            try:
+                aged.append((manifest_path.stat().st_mtime, manifest_path.parent))
+            except OSError:
+                continue
+        excess = len(aged) + 1 - self.max_entries_per_backend
+        for _, stale in sorted(aged)[:excess] if excess > 0 else []:
+            shutil.rmtree(stale, ignore_errors=True)
 
     # ------------------------------------------------------------------- load
     def load(
@@ -144,17 +212,7 @@ class IndexStore:
                 f"index entry {entry} was built for different lake contents"
             )
 
-        for filename, expected in manifest.get("checksums", {}).items():
-            payload = entry / filename
-            if not payload.is_file() or _file_checksum(payload) != expected:
-                raise ServingError(
-                    f"persisted index payload {payload} is missing or corrupt "
-                    "(checksum mismatch)"
-                )
-
-        state = json.loads((entry / _STATE).read_text())
-        with np.load(entry / _ARRAYS) as payload:
-            arrays = {key: payload[key] for key in payload.files}
+        state, arrays = self._read_payloads(entry, manifest)
         try:
             searcher.load_index_state(lake, state, arrays)
         except Exception as exc:
@@ -166,20 +224,104 @@ class IndexStore:
             ) from exc
         return searcher
 
+    def _read_payloads(self, entry: Path, manifest: dict) -> tuple[dict, dict]:
+        """Checksum-validate and read one entry's state + array payloads."""
+        for filename, expected in manifest.get("checksums", {}).items():
+            payload = entry / filename
+            if not payload.is_file() or _file_checksum(payload) != expected:
+                raise ServingError(
+                    f"persisted index payload {payload} is missing or corrupt "
+                    "(checksum mismatch)"
+                )
+        state = json.loads((entry / _STATE).read_text())
+        with np.load(entry / _ARRAYS) as payload:
+            arrays = {key: payload[key] for key in payload.files}
+        return state, arrays
+
+    # ------------------------------------------------------------ delta update
+    def _update_from_prior(
+        self, searcher: TableUnionSearcher, lake: DataLake
+    ) -> TableUnionSearcher | None:
+        """Serve a store miss by delta-updating the closest prior snapshot.
+
+        Scans the backend's persisted entries for the manifest whose recorded
+        per-table fingerprints differ least from ``lake``, loads that
+        snapshot and applies the difference through
+        :meth:`~repro.search.base.TableUnionSearcher.update_index` (which
+        itself falls back to rebuilding when the backend cannot apply it
+        incrementally).  The updated index is persisted as a regular full
+        entry for ``lake``, so delta chains never accumulate on disk.
+        Returns ``None`` when no prior snapshot qualifies — the caller then
+        builds from scratch.
+        """
+        current = lake.table_fingerprints()
+        config_fingerprint = searcher.config_fingerprint()
+        best: tuple[int, Path, dict, list[str], list[str]] | None = None
+        for manifest_path in self.backend_dir(searcher).glob(f"*/{_MANIFEST}"):
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if manifest.get("store_format") != STORE_FORMAT_VERSION:
+                continue
+            if manifest.get("config_fingerprint") != config_fingerprint:
+                continue
+            base = manifest.get("table_fingerprints")
+            if not isinstance(base, dict):
+                continue  # entry predates delta-aware manifests
+            added = [name for name, fp in current.items() if base.get(name) != fp]
+            removed = [name for name, fp in base.items() if current.get(name) != fp]
+            changes = len(added) + len(removed)
+            if changes == 0:
+                continue  # identical content would have been an exact hit
+            if best is None or changes < best[0]:
+                best = (changes, manifest_path.parent, manifest, added, removed)
+        if best is None:
+            return None
+        changes, entry, manifest, added, removed = best
+        if changes > self.max_delta_fraction * max(lake.num_tables, 1):
+            return None
+        try:
+            state, arrays = self._read_payloads(entry, manifest)
+            searcher.load_index_state(lake, state, arrays)
+            searcher.update_index(
+                added=[lake.get(name) for name in added], removed=removed
+            )
+        except Exception:
+            # Anything can go wrong with a snapshot we merely hope is usable:
+            # checksum/corruption failures, a concurrent save evicting the
+            # entry mid-read (FileNotFoundError), or layout drift surfacing
+            # from load_index_state.  A fresh build always heals, so this
+            # fallback mirrors load()'s treat-as-corruption philosophy.
+            return None
+        try:
+            self.save(searcher, lake)
+        except SearchError:
+            pass
+        return searcher
+
     def load_or_build(
         self, searcher: TableUnionSearcher, lake: DataLake
     ) -> TableUnionSearcher:
-        """Restore from the store when possible, otherwise build and persist.
+        """Restore from the store when possible, otherwise update or build.
 
-        Misses *and* corrupt entries fall back to a fresh build whose result
-        overwrites the bad entry, so a damaged store heals on next use.
+        Resolution order: exact entry for the lake's content → delta update
+        of the closest prior snapshot (bit-identical, persisted as a new
+        entry) → fresh build.  Misses *and* corrupt entries end in a build
+        whose result overwrites the bad entry, so a damaged store heals on
+        next use.
         """
         try:
             return self.load(searcher, lake)
-        except ServingError:  # miss or corruption
-            searcher.index(lake)
-            try:
-                self.save(searcher, lake)
-            except SearchError:
-                pass  # a backend without index_state() still serves in-process
-            return searcher
+        except IndexStoreMiss:
+            updated = self._update_from_prior(searcher, lake)
+            if updated is not None:
+                return updated
+        except ServingError:
+            pass  # corruption: heal with a fresh build below
+        searcher.index(lake)
+        try:
+            self.save(searcher, lake)
+        except SearchError:
+            pass  # a backend without index_state() still serves in-process
+        return searcher

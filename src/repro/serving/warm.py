@@ -11,7 +11,9 @@ unified CLI (``python -m repro warm`` / ``dust warm``), which resolves
 backends and benchmarks through the :mod:`repro.api.registry` registries.
 Every requested backend is warmed through
 :meth:`~repro.serving.store.IndexStore.load_or_build`: an existing valid
-entry is a fast no-op, anything else is built once and persisted.
+entry is a fast no-op, a lake whose content drifted from a persisted snapshot
+is served by delta-updating that snapshot, and anything else is built once
+and persisted.
 """
 
 from __future__ import annotations
