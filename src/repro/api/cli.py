@@ -9,11 +9,15 @@ file, defaults otherwise)::
     dust diversify --benchmark ugen --methods dust gmc --k 10
     dust evaluate  --benchmark ugen --k 10
     dust warm      --store .cache/index-store --benchmark ugen --backends overlap d3l
+    dust warm      --store .cache/index-store --benchmark ugen --shards 4 --workers 4
 
 ``search`` prints one :class:`~repro.api.facade.ResultSet` as JSON;
 ``diversify``/``evaluate`` print diversity scores of the registered
 diversification methods; ``warm`` pre-builds and persists search indexes
-(the CI bench-smoke job runs it twice to prove the store's load path).
+(the CI bench-smoke job runs it twice to prove the store's load path).  With
+``--shards N`` the lake is partitioned, the shard indexes are built in
+parallel worker processes and persisted per shard, and the merged whole-lake
+entry is persisted too.
 """
 
 from __future__ import annotations
@@ -127,6 +131,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_searchers(),
         default=["overlap", "d3l", "santos"],
         help="search backends to warm (default: %(default)s)",
+    )
+    warm.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the lake into N shards and build them in parallel; "
+        "persists one store entry per shard plus the merged whole-lake "
+        "entry (default: %(default)s)",
+    )
+    warm.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for parallel shard builds (default: auto)",
     )
     return parser
 
@@ -268,15 +286,20 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_warm(args: argparse.Namespace) -> int:
+    from repro.search.sharded import build_sharded
     from repro.serving.store import IndexStore
 
+    if args.shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {args.shards}")
     benchmark = build_benchmark(args.benchmark, num_queries=args.num_queries, seed=args.seed)
     lake = benchmark.lake
     store = IndexStore(args.store)
+    sharded = args.shards > 1
     print(
         f"warming {len(args.backends)} backend(s) over {args.benchmark!r} "
         f"({lake.num_tables} tables, {lake.num_rows} rows), "
         f"store={store.root}"
+        + (f", shards={args.shards}, workers={args.workers or 'auto'}" if sharded else "")
     )
     for backend in args.backends:
         if backend == "oracle":
@@ -285,7 +308,16 @@ def _cmd_warm(args: argparse.Namespace) -> int:
             searcher = SEARCHERS.create(backend)
         cached = store.contains(searcher, lake)
         start = time.perf_counter()
-        store.load_or_build(searcher, lake)
+        if sharded:
+            build_sharded(
+                searcher,
+                lake,
+                num_shards=args.shards,
+                workers=args.workers,
+                store=store,
+            )
+        else:
+            store.load_or_build(searcher, lake)
         elapsed = time.perf_counter() - start
         action = "loaded" if cached else "built"
         print(

@@ -10,7 +10,8 @@ its registry name plus parameters::
       "diversifier": {"name": "dust"},
       "pipeline": {"num_search_tables": 10, "k": 30, "min_query_rows": 3},
       "dust": {"candidate_multiplier": 2, "prune_limit": 2500, ...},
-      "serving": {"store_dir": ".cache/index-store"}
+      "serving": {"store_dir": ".cache/index-store"},
+      "sharding": {"num_shards": 8, "build_workers": 4}
     }
 
 The tree round-trips through ``from_dict``/``to_dict`` and JSON, is validated
@@ -61,6 +62,13 @@ _SERVING_DEFAULTS: dict[str, Any] = {
     "chunk_size": 8,
     "parallelism": "auto",
     "parallel_min_seconds": 1.0,
+}
+_SHARDING_DEFAULTS: dict[str, Any] = {
+    "num_shards": 1,
+    "strategy": "hash",
+    "build_workers": None,
+    "build_parallelism": "auto",
+    "parallel_min_seconds": 0.5,
 }
 
 
@@ -158,6 +166,33 @@ def _validate_serving(serving: Mapping[str, Any]) -> None:
         )
 
 
+def _validate_sharding(sharding: Mapping[str, Any]) -> None:
+    """Eagerly apply the LakePartitioner/sharded-build value constraints."""
+    num_shards = sharding["num_shards"]
+    if not isinstance(num_shards, int) or num_shards < 1:
+        raise ConfigurationError(
+            f"sharding.num_shards must be a positive integer, got {num_shards!r}"
+        )
+    if sharding["strategy"] not in ("hash", "size"):
+        raise ConfigurationError(
+            f"sharding.strategy must be hash/size, got {sharding['strategy']!r}"
+        )
+    if sharding["build_workers"] is not None and sharding["build_workers"] <= 0:
+        raise ConfigurationError(
+            f"sharding.build_workers must be positive, got {sharding['build_workers']}"
+        )
+    if sharding["build_parallelism"] not in ("auto", "process", "serial"):
+        raise ConfigurationError(
+            "sharding.build_parallelism must be auto/process/serial, "
+            f"got {sharding['build_parallelism']!r}"
+        )
+    if sharding["parallel_min_seconds"] < 0:
+        raise ConfigurationError(
+            "sharding.parallel_min_seconds must be non-negative, "
+            f"got {sharding['parallel_min_seconds']}"
+        )
+
+
 def _checked_section(
     section: str, payload: Mapping[str, Any], allowed: tuple[str, ...]
 ) -> dict[str, Any]:
@@ -194,6 +229,12 @@ class DiscoveryConfig:
     pipeline: dict[str, Any] = field(default_factory=dict)
     dust: dict[str, Any] = field(default_factory=dict)
     serving: dict[str, Any] | None = None
+    #: Optional lake-sharding section: ``{"num_shards": 8, "strategy": "hash",
+    #: "build_workers": 4, ...}``.  With ``num_shards > 1`` every backend the
+    #: facade builds becomes a :class:`~repro.search.sharded.ShardedSearcher`
+    #: — partition-parallel builds, fan-out/merge serving, per-shard store
+    #: entries — transparently, with rankings bit-identical to a flat index.
+    sharding: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         for section, registry in _COMPONENT_SECTIONS.items():
@@ -215,6 +256,13 @@ class DiscoveryConfig:
             )
             self.serving = {**_SERVING_DEFAULTS, **serving}
             _validate_serving(self.serving)
+
+        if self.sharding is not None:
+            sharding = _checked_section(
+                "sharding", self.sharding, tuple(_SHARDING_DEFAULTS)
+            )
+            self.sharding = {**_SHARDING_DEFAULTS, **sharding}
+            _validate_sharding(self.sharding)
 
     # -------------------------------------------------------------- resolution
     def pipeline_config(self) -> PipelineConfig:
@@ -246,7 +294,7 @@ class DiscoveryConfig:
                 kwargs[section] = ComponentSpec.from_value(
                     payload[section], section=section
                 )
-        for section in ("pipeline", "dust", "serving"):
+        for section in ("pipeline", "dust", "serving", "sharding"):
             if section in payload:
                 kwargs[section] = payload[section]
         return cls(**kwargs)
@@ -261,6 +309,8 @@ class DiscoveryConfig:
         payload["dust"] = dict(self.dust)
         if self.serving is not None:
             payload["serving"] = dict(self.serving)
+        if self.sharding is not None:
+            payload["sharding"] = dict(self.sharding)
         return payload
 
     @classmethod

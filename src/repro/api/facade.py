@@ -37,6 +37,7 @@ from repro.core.pipeline import DustPipeline, DustResult
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.search.base import SearchResult, TableUnionSearcher
+from repro.search.sharded import ShardedSearcher
 from repro.serving.service import QueryService
 from repro.serving.store import IndexStore
 from repro.utils.errors import ConfigurationError
@@ -330,7 +331,26 @@ class Discovery:
         # built with registry defaults.
         spec = self.config.searcher
         params = dict(spec.params) if backend == spec.name else {}
-        return SEARCHERS.create(backend, **params)
+
+        def factory() -> TableUnionSearcher:
+            return SEARCHERS.create(backend, **params)
+
+        sharding = self.config.sharding
+        if sharding is not None and sharding["num_shards"] > 1:
+            # Transparently shard-aware: the composite builds shard indexes
+            # in parallel, serves by fan-out/merge and (with a store)
+            # persists per shard — rankings bit-identical to the flat
+            # backend, so nothing downstream changes.
+            return ShardedSearcher(
+                factory,
+                num_shards=sharding["num_shards"],
+                strategy=sharding["strategy"],
+                workers=sharding["build_workers"],
+                parallelism=sharding["build_parallelism"],
+                parallel_min_seconds=sharding["parallel_min_seconds"],
+                store=self._store,
+            )
+        return factory()
 
     def _ensure_backend(self, backend: str) -> TableUnionSearcher:
         key = self._backend_key(backend)
@@ -353,7 +373,7 @@ class Discovery:
             )
             service.warm(self.lake)
             self._services[key] = service
-        elif self._store is not None:
+        elif self._store is not None and not searcher.manages_own_persistence:
             self._store.load_or_build(searcher, self.lake)
         else:
             searcher.index(self.lake)
@@ -497,4 +517,9 @@ class Discovery:
             ),
             "indexed_backends": sorted(self._searchers),
             "serving": self.config.serving is not None,
+            "num_shards": (
+                self.config.sharding["num_shards"]
+                if self.config.sharding is not None
+                else 1
+            ),
         }

@@ -9,6 +9,7 @@ themselves incrementally — see :class:`LakeDelta` and
 from repro.datalake.table import Column, Row, Table
 from repro.datalake.lake import DataLake
 from repro.datalake.delta import LakeDelta, diff_table_fingerprints
+from repro.datalake.partition import LakePartitioner, LakeShard
 from repro.datalake.io import read_csv, write_csv, table_from_rows
 from repro.datalake.profile import ColumnProfile, TableProfile, profile_column, profile_table
 
@@ -19,6 +20,8 @@ __all__ = [
     "DataLake",
     "LakeDelta",
     "diff_table_fingerprints",
+    "LakePartitioner",
+    "LakeShard",
     "read_csv",
     "write_csv",
     "table_from_rows",

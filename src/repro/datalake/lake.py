@@ -13,7 +13,9 @@ Lakes are **versioned**: every mutation made through :meth:`~DataLake.add_table`
 :meth:`~DataLake.changes_since` can report the net
 :class:`~repro.datalake.delta.LakeDelta` between any two versions — the input
 to incremental index maintenance
-(:meth:`~repro.search.base.TableUnionSearcher.update_index`).
+(:meth:`~repro.search.base.TableUnionSearcher.update_index`).  Tables passed
+to the constructor are the version-0 seed state, not mutations: they are
+catalogued without journal entries.
 """
 
 from __future__ import annotations
@@ -43,8 +45,13 @@ class DataLake:
         self._journal: list[tuple[int, str, str]] = []
         #: Versions at or below this floor predate the retained journal.
         self._journal_floor = 0
+        # Seed tables are the lake's version-0 state, not mutations: they
+        # enter the catalog without version bumps or journal entries, so
+        # constructing a large lake (or a shard view of one) never burns the
+        # bounded journal window and consumers pinned at version 0 see an
+        # empty delta instead of a spurious full rebuild.
         for table in tables:
-            self.add_table(table)
+            self._admit(table)
 
     # ------------------------------------------------------------- versioning
     @property
@@ -99,13 +106,17 @@ class DataLake:
         )
 
     # ------------------------------------------------------------- mutation
-    def add_table(self, table: Table) -> "DataLake":
-        """Add ``table``; raises :class:`DataLakeError` on duplicate names."""
+    def _admit(self, table: Table) -> None:
+        """Insert ``table`` into the catalog (no version bump, no journal)."""
         if table.name in self._tables:
             raise DataLakeError(
                 f"data lake {self.name!r} already contains a table named {table.name!r}"
             )
         self._tables[table.name] = table
+
+    def add_table(self, table: Table) -> "DataLake":
+        """Add ``table``; raises :class:`DataLakeError` on duplicate names."""
+        self._admit(table)
         self._version += 1
         self._journal_op("add", table.name)
         return self

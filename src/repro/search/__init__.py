@@ -8,7 +8,13 @@ ground-truth oracle when isolating the diversification stage.
 Indexes are maintainable, not just buildable: every backend supports
 ``update_index(added=..., removed=...)``/``refresh()`` for mutating lakes
 (with a full-rebuild correctness fallback) and ``index_state()``/
-``load_index_state()`` for cross-process persistence.
+``load_index_state()`` for cross-process persistence.  Indexes are also
+**partitionable**: ``build_partial(shard)``/``merge_partials(lake, parts)``
+let a lake's index be assembled from per-shard builds —
+:func:`~repro.search.sharded.build_sharded` runs those builds concurrently
+in forked workers, and :class:`~repro.search.sharded.ShardedSearcher` keeps
+the shards separate and serves queries by fan-out/merge, bit-identical to a
+flat index either way.
 """
 
 from repro.search.base import TableUnionSearcher, SearchResult
@@ -18,6 +24,7 @@ from repro.search.starmie import StarmieSearcher
 from repro.search.d3l import D3LSearcher
 from repro.search.santos import SantosSearcher
 from repro.search.oracle import OracleSearcher
+from repro.search.sharded import ShardedSearcher, build_sharded
 
 __all__ = [
     "TableUnionSearcher",
@@ -29,4 +36,6 @@ __all__ = [
     "D3LSearcher",
     "SantosSearcher",
     "OracleSearcher",
+    "ShardedSearcher",
+    "build_sharded",
 ]

@@ -13,11 +13,48 @@ import numpy as np
 from repro.datalake.delta import diff_table_fingerprints
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
-from repro.utils.errors import IndexDeltaUnsupported, SearchError
+from repro.utils.errors import (
+    IndexDeltaUnsupported,
+    IndexMergeUnsupported,
+    SearchError,
+)
 
 #: JSON-serializable index metadata + named numpy payloads, as produced by
 #: :meth:`TableUnionSearcher.index_state` and consumed by ``load_index_state``.
+#: Per-shard partials (:meth:`TableUnionSearcher.build_partial`) use the same
+#: shape, so they are picklable across process boundaries and persistable
+#: through the :class:`~repro.serving.store.IndexStore` unchanged.
 IndexState = tuple[dict, dict[str, np.ndarray]]
+
+
+def merge_shard_table_maps(
+    lake: DataLake, per_part_maps: Iterable[Mapping[str, Any]], *, what: str
+) -> dict[str, Any]:
+    """Union per-shard ``table name -> entry`` maps, validated, in lake order.
+
+    The workhorse of every backend's partial-merge: shards must be disjoint
+    (a table indexed by two partials is a partitioning bug, not something to
+    resolve silently) and must cover the lake exactly.  The merged map is
+    returned keyed in the lake's iteration order so merged index structures
+    are laid out identically to a monolithic build.
+    """
+    merged: dict[str, Any] = {}
+    for part_map in per_part_maps:
+        for name, value in part_map.items():
+            if name in merged:
+                raise SearchError(
+                    f"{what}: table {name!r} appears in more than one shard partial"
+                )
+            merged[name] = value
+    lake_names = set(lake.table_names())
+    missing = lake_names - set(merged)
+    extra = set(merged) - lake_names
+    if missing or extra:
+        raise SearchError(
+            f"{what}: shard partials do not cover the lake exactly "
+            f"(missing {sorted(missing)[:3]}, extra {sorted(extra)[:3]})"
+        )
+    return {table.name: merged[table.name] for table in lake}
 
 
 @dataclass(frozen=True)
@@ -143,14 +180,31 @@ class TableUnionSearcher(abc.ABC):
         applies the net delta through :meth:`update_index`.  A no-op when
         nothing changed.
         """
-        lake = self.lake  # raises before index()
+        return self.rebase(self.lake)  # self.lake raises before index()
+
+    def rebase(self, lake: DataLake) -> "TableUnionSearcher":
+        """Point the built index at ``lake``, applying the net content delta.
+
+        Like :meth:`refresh`, but for consumers that hold a *new* lake object
+        whose content drifted from the indexed one — a re-derived shard view,
+        a re-loaded copy of the same lake.  Equivalent to a fresh
+        :meth:`index` call (and literally one when nothing was indexed yet),
+        at the cost of only the changed tables.
+        """
+        if self._lake is None:
+            return self.index(lake)
+        if lake.num_tables == 0:
+            raise SearchError("cannot rebase an index onto an empty data lake")
         added_names, removed = diff_table_fingerprints(
             self._indexed_table_fps, lake.table_fingerprints()
         )
+        self._lake = lake  # update_index validates membership against it
         if added_names or removed:
             self.update_index(
                 added=[lake.get(name) for name in added_names], removed=removed
             )
+        else:
+            self._record_indexed_lake(lake)
         return self
 
     @property
@@ -164,6 +218,115 @@ class TableUnionSearcher(abc.ABC):
     def is_indexed(self) -> bool:
         """Whether :meth:`index` has been called."""
         return self._lake is not None
+
+    @property
+    def manages_own_persistence(self) -> bool:
+        """Whether this searcher persists its own index (e.g. per shard).
+
+        When true, :class:`~repro.serving.store.IndexStore`-wrapping
+        consumers (``QueryService``, the facade) must not save or load it as
+        one monolithic store entry — warming/refreshing the searcher itself
+        performs the persistence.
+        """
+        return False
+
+    # -------------------------------------------------------- sharded builds
+    #: Whether a persisted index over a *shard* of a lake depends only on
+    #: that shard's tables.  True for every backend whose per-table entries
+    #: are shard-local (so per-shard store entries round-trip through the
+    #: ordinary load path); the oracle sets it to False because restoring its
+    #: "index" re-validates the ground truth against the whole lake.
+    SHARD_LOCAL_INDEX = True
+
+    def build_partial(self, shard: DataLake) -> IndexState:
+        """Index ``shard`` alone and return the serialized partial index.
+
+        The partial is scratch output for :meth:`merge_partials` (or
+        :meth:`load_partial` onto a per-shard serving searcher): this
+        searcher's own index is clobbered and it is left *un-indexed*, so
+        partial builds can run on forked worker copies or on one scratch
+        instance sequentially without anyone mistaking the intermediate
+        state for a queryable index.
+        """
+        if shard.num_tables == 0:
+            raise SearchError("cannot build a partial index over an empty shard")
+        self._lake = None
+        self._indexed_table_fps = {}
+        self._build_index(shard)
+        return self._index_state()
+
+    def _load_partial_state(
+        self, shard: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Implementation hook: restore a partial dumped by :meth:`build_partial`.
+
+        Defaults to the ordinary :meth:`_load_index_state` — a partial *is* a
+        full index over the shard-as-lake for every backend whose entries are
+        shard-local.  Backends with lake-global state (the oracle's
+        validation) override this to defer that state to
+        :meth:`finalize_shard_group`.
+        """
+        self._load_index_state(shard, state, arrays)
+
+    def load_partial(
+        self, shard: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> "TableUnionSearcher":
+        """Restore a :meth:`build_partial` dump, binding this searcher to ``shard``."""
+        if shard.num_tables == 0:
+            raise SearchError("cannot load a partial index for an empty shard")
+        self._load_partial_state(shard, state, arrays)
+        self._record_indexed_lake(shard)
+        return self
+
+    def _merge_partial_states(self, lake: DataLake, parts: list[IndexState]) -> None:
+        """Implementation hook: assemble the full-lake index from shard partials.
+
+        ``parts`` are :meth:`build_partial` dumps over disjoint shards that
+        together cover ``lake`` exactly.  Implementations must produce an
+        index **bit-identical** to ``_build_index(lake)`` — scores and ranks,
+        not just sets — or raise :class:`IndexMergeUnsupported`, in which
+        case :meth:`merge_partials` falls back to a monolithic build.  The
+        default declares merging unsupported, so new backends are correct
+        before they are fast.
+        """
+        raise IndexMergeUnsupported(
+            f"{type(self).__name__} has no partial-index merge"
+        )
+
+    def merge_partials(
+        self, lake: DataLake, parts: Iterable[IndexState]
+    ) -> "TableUnionSearcher":
+        """Assemble and bind the full index for ``lake`` from per-shard partials.
+
+        The result is bit-identical to :meth:`index` over the same lake —
+        backends either merge exactly or the base class silently rebuilds
+        monolithically (the :class:`IndexMergeUnsupported` fallback).
+        """
+        if lake.num_tables == 0:
+            raise SearchError("cannot merge partial indexes for an empty data lake")
+        parts = list(parts)
+        if not parts:
+            raise SearchError("merge_partials() needs at least one partial index")
+        try:
+            self._merge_partial_states(lake, parts)
+        except IndexMergeUnsupported:
+            self._build_index(lake)
+        self._record_indexed_lake(lake)
+        return self
+
+    def finalize_shard_group(
+        self, lake: DataLake, shard_searchers: "Iterable[TableUnionSearcher]"
+    ) -> None:
+        """Hook: reconcile lake-global state across per-shard searchers.
+
+        Called by :class:`~repro.search.sharded.ShardedSearcher` after the
+        per-shard indexes are (re)built, with the full lake and the live
+        shard searchers.  Most backends' per-table entries are shard-local
+        already, so the default is a no-op; Starmie aligns every shard to
+        the global TF-IDF corpus here, and the oracle re-validates its
+        ground truth against the whole lake.  Implementations must be
+        idempotent — the hook runs again after every refresh.
+        """
 
     # --------------------------------------------------- index serialization
     #: Bump in a subclass whenever its serialized index layout changes; the

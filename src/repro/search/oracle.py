@@ -59,6 +59,46 @@ class OracleSearcher(TableUnionSearcher):
         than silently return shorter result lists."""
         self._build_index(self.lake)
 
+    # -------------------------------------------------------- sharded builds
+    #: Restoring an oracle "index" re-validates the ground truth, which
+    #: references tables across the whole lake — a per-shard store entry
+    #: would fail that validation, so shard handling bypasses the store.
+    SHARD_LOCAL_INDEX = False
+
+    def build_partial(self, shard: DataLake) -> "IndexState":
+        """Per-shard partials carry only the ground truth.
+
+        Build-time validation must see the *whole* lake (labelled tables land
+        in arbitrary shards), so partial builds skip it; it re-runs in
+        :meth:`_merge_partial_states` and :meth:`finalize_shard_group` — the
+        oracle re-validation step of a sharded deployment.
+        """
+        if shard.num_tables == 0:
+            raise SearchError("cannot build a partial index over an empty shard")
+        self._lake = None
+        self._indexed_table_fps = {}
+        return self._index_state()
+
+    def _load_partial_state(
+        self, shard: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        self._ground_truth = {
+            query: list(tables) for query, tables in state["ground_truth"].items()
+        }
+
+    def _merge_partial_states(self, lake: DataLake, parts: list["IndexState"]) -> None:
+        state, _ = parts[0]  # every partial carries the same ground truth
+        self._ground_truth = {
+            query: list(tables) for query, tables in state["ground_truth"].items()
+        }
+        self._build_index(lake)  # full-lake re-validation
+
+    def finalize_shard_group(
+        self, lake: DataLake, shard_searchers: "Sequence[TableUnionSearcher]"
+    ) -> None:
+        """Re-validate the ground truth against the full (possibly mutated) lake."""
+        self._build_index(lake)
+
     # ----------------------------------------------------- index serialization
     def config_state(self) -> dict:
         # The ground truth *is* the oracle's configuration: two oracles with

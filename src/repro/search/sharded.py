@@ -1,0 +1,432 @@
+"""Sharded index construction and fan-out/merge search serving.
+
+Two entry points turn the per-shard protocol of
+:class:`~repro.search.base.TableUnionSearcher` (``build_partial`` /
+``merge_partials`` / ``finalize_shard_group``) into whole-lake machinery:
+
+* :func:`build_sharded` — partition a lake, build every shard's partial index
+  **concurrently in forked worker processes** (probe-gated, so tiny lakes
+  never pay fork startup) and merge the partials into one monolithic index on
+  the given searcher.  The merged index is bit-identical to a serial
+  ``searcher.index(lake)`` — ranks *and* scores.
+* :class:`ShardedSearcher` — a composite :class:`TableUnionSearcher` that
+  keeps one independently-indexed searcher per shard and answers queries by
+  **fanning out** over the shard indexes and merging their top-k lists by
+  ``(-score, table name)`` — the exact ordering of the monolithic
+  ``search()``, so served rankings are bit-identical to an unsharded backend.
+  Because it *is* a ``TableUnionSearcher``, everything downstream
+  (``QueryService`` caching and multi-query fan-out, ``DustPipeline``, the
+  ``Discovery`` facade) composes with it unchanged.
+
+Per-shard persistence: give :class:`ShardedSearcher` an
+:class:`~repro.serving.store.IndexStore` and each shard is loaded from /
+persisted to its own store entry, keyed by the shard's content fingerprint.
+Mutating the lake therefore re-indexes and re-persists **only the shards
+whose fingerprints moved**, and each shard's store entry composes with the
+store's snapshot-delta path (PR 4): a shard that drifted slightly is healed
+by delta-updating its closest prior snapshot, not rebuilt.
+
+Why fan-out equals monolithic, per backend: every backend's per-table score
+depends only on the query and that table's index entry — except Starmie,
+whose TF-IDF corpus is lake-global.  ``finalize_shard_group`` closes that
+gap after every (re)build by loading the exact global fit (summed integer
+corpus contributions) into each shard searcher and re-encoding the rare
+oversized tables, so per-table scores — and hence merged rankings — are
+bit-identical to one flat index.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.datalake.lake import DataLake
+from repro.datalake.partition import LakePartitioner, LakeShard
+from repro.search.base import IndexState, SearchResult, TableUnionSearcher
+from repro.utils.errors import IndexStoreMiss, SearchError, ServingError
+from repro.utils.parallel import (
+    default_worker_count,
+    forked_map,
+    probe_gate,
+    resolve_parallelism,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving -> search)
+    from repro.serving.store import IndexStore
+
+
+def _ensure_store_capacity(store: "IndexStore | None", num_shards: int) -> None:
+    """Raise the store's per-backend entry bound to fit live shard entries.
+
+    Live shard entries (plus the merged whole-lake entry) all share one
+    backend directory, and the store's eviction treats everything but the
+    latest save as a superseded snapshot — with a bound sized for single-lake
+    deployments it would delete *live* shard entries mid-build and every
+    later warm would rebuild a rotating victim.  Raising the bound only
+    retains more disk, so the composite does it once, centrally, instead of
+    every call site having to know the arithmetic.
+    """
+    if store is None or store.max_entries_per_backend is None:
+        return
+    required = 2 * num_shards + 2  # live shards + merged entry + delta headroom
+    if store.max_entries_per_backend < required:
+        store.max_entries_per_backend = required
+
+
+def _materialize_shard_state(
+    searcher: TableUnionSearcher,
+    shard_lake: DataLake,
+    store: "IndexStore | None",
+) -> IndexState:
+    """Build (or restore) one shard's index and return its serialized state.
+
+    Runs inside a forked worker during parallel builds — the searcher and
+    shard lake are fork-inherited, only the returned state is pickled.  With
+    a store, the shard round-trips through ``load_or_build``: an existing
+    entry for the shard's content is a fast load, a drifted shard is healed
+    by the store's snapshot-delta path, and anything else is built once and
+    persisted — all per shard.
+    """
+    if store is not None and searcher.SHARD_LOCAL_INDEX:
+        store.load_or_build(searcher, shard_lake)
+        return searcher.index_state()
+    return searcher.build_partial(shard_lake)
+
+
+def _build_partials(
+    searchers: Sequence[TableUnionSearcher],
+    shard_lakes: Sequence[DataLake],
+    jobs: Sequence[int],
+    *,
+    store: "IndexStore | None",
+    workers: int | None,
+    parallelism: str,
+    parallel_min_seconds: float,
+    capture_in_process: bool = True,
+) -> dict[int, IndexState | None]:
+    """Materialise every shard index in ``jobs``; return captured states.
+
+    The shared probe-gated fan-out heuristic (one build serves as the probe;
+    the rest fork only when the estimated remaining work amortises worker
+    startup).  Threads are never used: partial builds mutate searcher
+    internals, and index building is GIL-bound anyway.
+
+    Forked shards always come back as serialized states (the only way index
+    structures cross the process boundary).  Shards built *in-process* are
+    left live on their searcher; with ``capture_in_process=False`` their map
+    entry is ``None`` instead of a redundant dump-and-reload round-trip —
+    callers that keep one searcher per shard (:class:`ShardedSearcher`) need
+    no state for them, while :func:`build_sharded` (one scratch searcher for
+    every shard) must capture each state before the next build clobbers it.
+    """
+    states: dict[int, IndexState | None] = {}
+
+    def materialize(shard_id: int) -> IndexState:
+        return _materialize_shard_state(
+            searchers[shard_id], shard_lakes[shard_id], store
+        )
+
+    def build_in_process(shard_id: int) -> None:
+        if capture_in_process:
+            states[shard_id] = materialize(shard_id)
+            return
+        searcher, shard_lake = searchers[shard_id], shard_lakes[shard_id]
+        if store is not None and searcher.SHARD_LOCAL_INDEX:
+            store.load_or_build(searcher, shard_lake)
+        elif searcher.SHARD_LOCAL_INDEX:
+            searcher.index(shard_lake)
+        else:  # oracle-style: index() would validate against the bare shard
+            searcher.load_partial(shard_lake, *searcher.build_partial(shard_lake))
+        states[shard_id] = None  # already live on the shard's own searcher
+
+    mode = resolve_parallelism(parallelism, threads_fallback=False)
+    worker_count = default_worker_count(len(jobs), max_workers=workers)
+    # Builds are CPU-bound: more workers than cores never helps and the
+    # oversubscription context-switching actively hurts, so the requested
+    # worker count is capped at the machine's physical parallelism.
+    worker_count = max(1, min(worker_count, os.cpu_count() or 1))
+    if mode != "process" or worker_count <= 1 or len(jobs) <= 1:
+        for shard_id in jobs:
+            build_in_process(shard_id)
+        return states
+
+    remaining, fan_out = probe_gate(
+        jobs, build_in_process, min_seconds=parallel_min_seconds, max_probes=1
+    )
+    if fan_out:
+        for shard_id, state in zip(
+            remaining, forked_map(materialize, remaining, workers=worker_count)
+        ):
+            states[shard_id] = state
+    else:
+        for shard_id in remaining:
+            build_in_process(shard_id)
+    return states
+
+
+def build_sharded(
+    searcher: TableUnionSearcher,
+    lake: DataLake,
+    *,
+    num_shards: int,
+    strategy: str = "hash",
+    workers: int | None = None,
+    parallelism: str = "auto",
+    parallel_min_seconds: float = 0.5,
+    store: "IndexStore | None" = None,
+) -> TableUnionSearcher:
+    """Index ``lake`` on ``searcher`` via parallel per-shard builds + merge.
+
+    Bit-identical to ``searcher.index(lake)`` — the partials are merged with
+    the backend's exact-merge implementation (corpus-contribution summation
+    for Starmie, signature/signal unions elsewhere, oracle re-validation).
+    With a ``store``, every shard is served through its own persisted entry
+    *and* the merged whole-lake index is persisted too, so both sharded and
+    unsharded consumers of the same content hit warm entries afterwards; an
+    already-warm whole-lake entry short-circuits the partition entirely.
+    The store's per-backend entry bound is raised as needed so live shard
+    entries are never evicted as superseded snapshots.
+    """
+    if store is not None:
+        _ensure_store_capacity(store, num_shards)
+        try:
+            return store.load(searcher, lake)  # warm whole-lake entry: done
+        except IndexStoreMiss:
+            pass
+        except ServingError:
+            pass  # corrupt entry: rebuild below overwrites and heals it
+    partitioner = LakePartitioner(num_shards, strategy=strategy)
+    shards = partitioner.partition(lake)
+    shard_lakes = [shard.to_lake() for shard in shards]
+    jobs = [i for i, shard_lake in enumerate(shard_lakes) if shard_lake.num_tables]
+    if len(jobs) <= 1:
+        if store is not None:
+            return store.load_or_build(searcher, lake)
+        return searcher.index(lake)
+    states = _build_partials(
+        [searcher] * len(shards),  # workers fork copies; serial reuse is safe
+        shard_lakes,
+        jobs,
+        store=store,
+        workers=workers,
+        parallelism=parallelism,
+        parallel_min_seconds=parallel_min_seconds,
+    )
+    searcher.merge_partials(lake, [states[shard_id] for shard_id in jobs])
+    if store is not None:
+        try:
+            store.save(searcher, lake)
+        except SearchError:
+            pass  # backends without index_state() still serve in-process
+    return searcher
+
+
+class ShardedSearcher(TableUnionSearcher):
+    """Partition-parallel composite searcher with fan-out/merge serving.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building one configured backend instance; one
+        searcher is built per shard (plus a prototype used for configuration
+        fingerprints and shard-group finalization).
+    num_shards, strategy:
+        The :class:`~repro.datalake.partition.LakePartitioner` configuration.
+        ``"hash"`` keeps table->shard assignment mutation-stable, so a lake
+        mutation touches exactly the shards whose tables changed.
+    workers, parallelism, parallel_min_seconds:
+        Parallel-build knobs shared with :func:`build_sharded`.
+    store:
+        Optional :class:`~repro.serving.store.IndexStore`.  Each shard then
+        persists as its own entry keyed by shard content fingerprint;
+        refreshes re-persist only the mutated shards.  The store's
+        per-backend entry bound counts shard entries, so give lakes sharded
+        N ways a store whose ``max_entries_per_backend`` comfortably exceeds
+        N (the facade and warm CLI do this automatically).
+
+    The composite's ``config_fingerprint()`` is the *prototype's*: sharding
+    is an execution strategy, not a semantic configuration — rankings are
+    bit-identical to the flat backend, so result caches and store entries
+    are deliberately shared with unsharded deployments of the same config.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], TableUnionSearcher],
+        *,
+        num_shards: int,
+        strategy: str = "hash",
+        workers: int | None = None,
+        parallelism: str = "auto",
+        parallel_min_seconds: float = 0.5,
+        store: "IndexStore | None" = None,
+    ) -> None:
+        super().__init__()
+        self.factory = factory
+        self.partitioner = LakePartitioner(num_shards, strategy=strategy)
+        self.workers = workers
+        self.parallelism = parallelism
+        self.parallel_min_seconds = parallel_min_seconds
+        self.store = store
+        _ensure_store_capacity(store, self.partitioner.num_shards)
+        self._prototype = factory()
+        if not isinstance(self._prototype, TableUnionSearcher):
+            raise SearchError(
+                "ShardedSearcher factory must build TableUnionSearcher instances, "
+                f"got {type(self._prototype).__name__}"
+            )
+        self._shards: list[LakeShard] = []
+        self._shard_lakes: list[DataLake] = []
+        self._shard_searchers: list[TableUnionSearcher | None] = []
+        self._shard_of_table: dict[str, int] = {}
+
+    # ------------------------------------------------------------- properties
+    @property
+    def num_shards(self) -> int:
+        return self.partitioner.num_shards
+
+    @property
+    def shards(self) -> list[LakeShard]:
+        """The current partition (empty before :meth:`index`)."""
+        return list(self._shards)
+
+    @property
+    def shard_searchers(self) -> list[TableUnionSearcher | None]:
+        """Per-shard backend instances (``None`` for empty shards)."""
+        return list(self._shard_searchers)
+
+    @property
+    def manages_own_persistence(self) -> bool:
+        """With a store, shards persist themselves — consumers must not
+        additionally save this composite as one monolithic entry."""
+        return self.store is not None
+
+    def config_state(self) -> dict:
+        return {
+            "base_class": type(self._prototype).__name__,
+            "base": self._prototype.config_state(),
+            "num_shards": self.partitioner.num_shards,
+            "strategy": self.partitioner.strategy,
+        }
+
+    def config_fingerprint(self) -> str:
+        """The *prototype's* fingerprint — see the class docstring."""
+        return self._prototype.config_fingerprint()
+
+    # ------------------------------------------------------------------ build
+    def _adopt_partition(
+        self,
+        lake: DataLake,
+        shards: list[LakeShard],
+        shard_lakes: list[DataLake],
+        searchers: list[TableUnionSearcher | None],
+    ) -> None:
+        self._shards = shards
+        self._shard_lakes = shard_lakes
+        self._shard_searchers = searchers
+        self._shard_of_table = {
+            name: shard.shard_id for shard in shards for name in shard.table_names
+        }
+        self._prototype.finalize_shard_group(
+            lake, [searcher for searcher in searchers if searcher is not None]
+        )
+
+    def _build_index(self, lake: DataLake) -> None:
+        shards = self.partitioner.partition(lake)
+        shard_lakes = [shard.to_lake() for shard in shards]
+        searchers: list[TableUnionSearcher | None] = [None] * len(shards)
+        jobs = [i for i, shard_lake in enumerate(shard_lakes) if shard_lake.num_tables]
+        for shard_id in jobs:
+            searchers[shard_id] = self.factory()
+        states = _build_partials(
+            searchers,  # type: ignore[arg-type]  (jobs index only built slots)
+            shard_lakes,
+            jobs,
+            store=self.store,
+            workers=self.workers,
+            parallelism=self.parallelism,
+            parallel_min_seconds=self.parallel_min_seconds,
+            capture_in_process=False,  # in-process shards are live already
+        )
+        for shard_id in jobs:
+            state = states[shard_id]
+            if state is not None:  # fork-built shards arrive as states
+                searchers[shard_id].load_partial(  # type: ignore[union-attr]
+                    shard_lakes[shard_id], *state
+                )
+        self._adopt_partition(lake, shards, shard_lakes, searchers)
+
+    # ------------------------------------------------------------ maintenance
+    def _apply_index_delta(self, added, removed) -> None:
+        """Re-derive the partition and touch only the shards that changed.
+
+        The added/removed lists are ignored in favour of per-shard content
+        fingerprint diffs — they see exactly the same net change, and the
+        diff is what decides *which shard* pays.  Unchanged shards keep
+        their searchers untouched; changed shards are delta-updated in
+        memory (:meth:`~TableUnionSearcher.rebase`) and, with a store,
+        re-persisted — only them.
+        """
+        lake = self.lake
+        shards = self.partitioner.partition(lake)
+        shard_lakes = [shard.to_lake() for shard in shards]
+        searchers: list[TableUnionSearcher | None] = [None] * len(shards)
+        for shard_id, shard_lake in enumerate(shard_lakes):
+            previous = (
+                self._shard_searchers[shard_id]
+                if shard_id < len(self._shard_searchers)
+                else None
+            )
+            if shard_lake.num_tables == 0:
+                continue
+            if (
+                previous is not None
+                and previous.is_indexed
+                and previous._indexed_table_fps == shard_lake.table_fingerprints()
+            ):
+                searchers[shard_id] = previous  # shard content untouched
+                continue
+            searcher = previous if previous is not None else self.factory()
+            if not searcher.SHARD_LOCAL_INDEX:
+                searcher.load_partial(shard_lake, *searcher.build_partial(shard_lake))
+            else:
+                searcher.rebase(shard_lake)
+                if self.store is not None:
+                    try:
+                        self.store.save(searcher, shard_lake)
+                    except SearchError:
+                        pass
+            searchers[shard_id] = searcher
+        self._adopt_partition(lake, shards, shard_lakes, searchers)
+
+    # ----------------------------------------------------------------- search
+    def search(self, query_table, k: int) -> list[SearchResult]:
+        """Fan out over the shard indexes and merge their top-k lists.
+
+        Each shard returns its local top-k under the monolithic ordering
+        ``(-score, table name)``; every member of the global top-k is by
+        definition in its own shard's local top-k, so re-sorting the union
+        and truncating reproduces the flat ``search()`` ranking — scores,
+        ties and all — exactly.
+        """
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        self.lake  # raises before index()
+        merged: list[SearchResult] = []
+        for searcher in self._shard_searchers:
+            if searcher is not None:
+                merged.extend(searcher.search(query_table, k))
+        merged.sort(key=lambda hit: (-hit.score, hit.table_name))
+        return [
+            SearchResult(table_name=hit.table_name, score=hit.score, rank=rank)
+            for rank, hit in enumerate(merged[:k], start=1)
+        ]
+
+    def _score_table(self, query_table, lake_table) -> float:
+        """Delegate to the shard index holding ``lake_table``."""
+        shard_id = self._shard_of_table.get(lake_table.name)
+        if shard_id is None or self._shard_searchers[shard_id] is None:
+            raise SearchError(
+                f"table {lake_table.name!r} is not covered by any shard index"
+            )
+        return self._shard_searchers[shard_id]._score_table(query_table, lake_table)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
-from typing import Mapping
+from typing import Iterable, Mapping
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
@@ -22,7 +22,12 @@ from repro.datalake.table import Table
 from repro.embeddings.column import CorpusContribution, StarmieColumnEncoder
 from repro.embeddings.contextual import RobertaLikeModel
 from repro.embeddings.serialization import AlignedTuple
-from repro.search.base import IndexState, SearchResult, TableUnionSearcher
+from repro.search.base import (
+    IndexState,
+    SearchResult,
+    TableUnionSearcher,
+    merge_shard_table_maps,
+)
 from repro.utils.errors import IndexDeltaUnsupported, SearchError
 
 
@@ -118,6 +123,75 @@ class StarmieSearcher(TableUnionSearcher):
                 table
             )
 
+    def _merge_partial_states(self, lake: DataLake, parts: list[IndexState]) -> None:
+        """Corpus-contribution summation: the merged fit is exact by construction.
+
+        Each shard partial carries its tables' :class:`CorpusContribution`
+        integer counts; summing them in any order reproduces a monolithic
+        ``fit`` over the whole lake bit for bit (the same arithmetic as the
+        incremental-update path).  Shard-built embeddings were encoded under
+        a *shard-local* fit, but only oversized column documents consult the
+        fitted state at all — so retained embeddings are already exact and
+        only the oversized tables are re-encoded under the merged corpus.
+        """
+        per_part_entries: list[dict[str, tuple]] = []
+        for state, arrays in parts:
+            embeddings = self._decode_column_embeddings(state, arrays)
+            per_part_entries.append(
+                {
+                    name: (
+                        CorpusContribution.from_state(state["corpus"][name]),
+                        embeddings[name],
+                    )
+                    for name in embeddings
+                }
+            )
+        entries = merge_shard_table_maps(
+            lake, per_part_entries, what="Starmie partial merge"
+        )
+        self._corpus = {name: contribution for name, (contribution, _) in entries.items()}
+        self._fit_from_corpus()
+        self._column_embeddings = {
+            name: (
+                self.column_encoder.encode_table_columns(lake.get(name))
+                if contribution.oversized
+                else embeddings
+            )
+            for name, (contribution, embeddings) in entries.items()
+        }
+        self._query_memo = threading.local()
+
+    def finalize_shard_group(
+        self, lake: DataLake, shard_searchers: "Iterable[TableUnionSearcher]"
+    ) -> None:
+        """Align every shard searcher to the global TF-IDF corpus.
+
+        Per-shard indexes are built (or delta-updated) under shard-local
+        corpus statistics; summing every shard's contributions yields the
+        global fit exactly, which each shard then loads so query embeddings —
+        and the embeddings of oversized tables, which are re-encoded here —
+        match a monolithic index bit for bit.  Idempotent: re-running with
+        unchanged shards recomputes the same fit and the same embeddings.
+        """
+        searchers = [
+            searcher for searcher in shard_searchers if isinstance(searcher, StarmieSearcher)
+        ]
+        num_documents = 0
+        frequency: Counter = Counter()
+        for searcher in searchers:
+            for contribution in searcher._corpus.values():
+                num_documents += contribution.num_documents
+                frequency.update(contribution.document_frequency)
+        fit = {"num_documents": num_documents, "document_frequency": dict(frequency)}
+        for searcher in searchers:
+            searcher.column_encoder.load_fit_state(fit)
+            searcher._query_memo = threading.local()
+            for name, contribution in searcher._corpus.items():
+                if contribution.oversized:
+                    searcher._column_embeddings[name] = (
+                        searcher.column_encoder.encode_table_columns(lake.get(name))
+                    )
+
     def _query_embeddings(self, query_table: Table) -> dict[str, np.ndarray]:
         # The base class scores the query against every lake table through
         # _score_table; memoise the query-side encoding (one entry, keyed by
@@ -169,15 +243,11 @@ class StarmieSearcher(TableUnionSearcher):
         }
         return state, {"column_embeddings": matrix}
 
-    def _load_index_state(
-        self, lake: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
-    ) -> None:
-        self._query_memo = threading.local()
-        self.column_encoder.load_fit_state(state["tfidf"])
-        self._corpus = {
-            name: CorpusContribution.from_state(contribution)
-            for name, contribution in state["corpus"].items()
-        }
+    @staticmethod
+    def _decode_column_embeddings(
+        state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> dict[str, dict[str, np.ndarray]]:
+        """Rehydrate the per-table column-embedding dicts of one index state."""
         matrix = np.asarray(arrays["column_embeddings"], dtype=np.float64)
         expected = sum(len(entry["columns"]) for entry in state["tables"])
         if expected != matrix.shape[0]:
@@ -193,7 +263,18 @@ class StarmieSearcher(TableUnionSearcher):
                 for offset, column in enumerate(entry["columns"])
             }
             row += len(entry["columns"])
-        self._column_embeddings = embeddings
+        return embeddings
+
+    def _load_index_state(
+        self, lake: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        self._query_memo = threading.local()
+        self.column_encoder.load_fit_state(state["tfidf"])
+        self._corpus = {
+            name: CorpusContribution.from_state(contribution)
+            for name, contribution in state["corpus"].items()
+        }
+        self._column_embeddings = self._decode_column_embeddings(state, arrays)
 
     # ----------------------------------------------------------------- scoring
     def _bipartite_score(

@@ -11,7 +11,9 @@ build-once/serve-many system:
 * :class:`~repro.serving.service.QueryService` — executes multi-query
   workloads in parallel with a bounded LRU result cache, returning rankings
   bit-identical to direct in-process search; ``refresh()`` follows in-place
-  lake mutation (delta index update + cache invalidation).
+  lake mutation (delta index update + cache invalidation).  Works unchanged
+  over a :class:`~repro.search.sharded.ShardedSearcher`, which persists one
+  store entry per lake shard and serves queries by fan-out/merge.
 * ``python -m repro.serving.warm`` — compatibility shim over ``dust warm``:
   pre-builds and stores the indexes of a benchmark lake (used by the CI
   bench-smoke job).

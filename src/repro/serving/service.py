@@ -12,7 +12,9 @@ workloads:
   and return only the small ranked-result lists.  Results always come back in
   input order, and each query runs the exact same single-query code path as
   :meth:`TableUnionSearcher.search`, so served rankings are bit-identical to
-  direct in-process search.
+  direct in-process search.  The executor selection, probe gating and forked
+  mapping live in :mod:`repro.utils.parallel`, shared with the sharded index
+  builder.
 * **Caching** — results are memoised in a bounded LRU keyed by
   ``(backend config fingerprint, lake fingerprint, query fingerprint, k)``.
   The key is pure content, so repeated queries — within a run or across
@@ -30,12 +32,8 @@ workloads:
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import threading
-import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Sequence
 
 from repro.datalake.lake import DataLake
@@ -43,22 +41,15 @@ from repro.datalake.table import Table
 from repro.search.base import SearchResult, TableUnionSearcher
 from repro.serving.store import IndexStore
 from repro.utils.errors import SearchError, ServingError
+from repro.utils.parallel import (
+    default_worker_count,
+    parallel_map,
+    probe_gate,
+    resolve_parallelism,
+)
 
 #: Cache key: (backend config fingerprint, lake fingerprint, query fingerprint, k).
 CacheKey = tuple[str, str, str, int]
-
-#: Searcher inherited by forked worker processes (set just before forking).
-_FORK_SEARCHER: TableUnionSearcher | None = None
-#: Serializes forked fan-outs so concurrent services cannot race on the
-#: inherited-searcher slot between assignment and fork.
-_FORK_LOCK = threading.Lock()
-
-
-def _serve_fork_chunk(chunk_and_k: tuple[list[Table], int]) -> list[list[SearchResult]]:
-    """Score one chunk inside a forked worker against the inherited index."""
-    chunk, k = chunk_and_k
-    assert _FORK_SEARCHER is not None  # set in the parent before the fork
-    return [_FORK_SEARCHER.search(query, k) for query in chunk]
 
 
 class QueryService:
@@ -95,13 +86,7 @@ class QueryService:
         self.chunk_size = chunk_size
         self.cache_size = cache_size
         self.parallel_min_seconds = parallel_min_seconds
-        if parallelism == "auto":
-            parallelism = (
-                "process"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else "thread"
-            )
-        self.parallelism = parallelism
+        self.parallelism = resolve_parallelism(parallelism)
         self._cache: OrderedDict[CacheKey, list[SearchResult]] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -117,9 +102,13 @@ class QueryService:
 
         With a store, the lake's persisted index is loaded when present and
         built + persisted otherwise; without one the searcher indexes
-        in-process.  Warming onto a different lake resets the result cache.
+        in-process.  Searchers that manage their own persistence (a
+        :class:`~repro.search.sharded.ShardedSearcher` with per-shard store
+        entries) index themselves — wrapping them in one monolithic store
+        entry would defeat their per-shard storage.  Warming onto a
+        different lake resets the result cache.
         """
-        if self.store is not None:
+        if self.store is not None and not self.searcher.manages_own_persistence:
             self.store.load_or_build(self.searcher, lake)
         else:
             self.searcher.index(lake)
@@ -168,7 +157,7 @@ class QueryService:
         with self._lock:
             self._cache.clear()
             self._lake_fingerprint = fingerprint
-        if self.store is not None:
+        if self.store is not None and not self.searcher.manages_own_persistence:
             try:
                 self.store.save(self.searcher, lake)
             except SearchError:
@@ -227,9 +216,7 @@ class QueryService:
         queries = list(query_tables)
         if not queries:
             return []
-        workers = self.max_workers or max(
-            1, min(8, os.cpu_count() or 1, len(queries))
-        )
+        workers = default_worker_count(len(queries), max_workers=self.max_workers)
 
         def finalize(
             answers: list[list[SearchResult] | None],
@@ -259,22 +246,19 @@ class QueryService:
                 answers[position] = self.search(queries[position], k)
             return finalize(answers)
 
-        # Probe: serve the first misses in-process to estimate the per-query
-        # cost, and skip the fan-out entirely when the remaining work would
-        # not amortise worker startup (fork + copy-on-write for processes,
-        # GIL contention for threads).  A second probe refines the estimate
-        # when the first one looks expensive — the first query also pays
-        # one-off warm-up costs (memo building, numpy initialisation) that
-        # would otherwise trigger unprofitable fan-outs.
-        per_query = float("inf")
-        for _ in range(2):
-            if not pending or per_query * len(pending) < self.parallel_min_seconds:
-                break
-            probe, pending = pending[0], pending[1:]
-            start = time.perf_counter()
-            answers[probe] = self.search(queries[probe], k)
-            per_query = min(per_query, time.perf_counter() - start)
-        if not pending or per_query * len(pending) < self.parallel_min_seconds:
+        # Probe (shared heuristic: repro.utils.parallel.probe_gate): serve the
+        # first misses in-process to estimate the per-query cost, and skip
+        # the fan-out entirely when the remaining work would not amortise
+        # worker startup (fork + copy-on-write for processes, GIL contention
+        # for threads).
+        pending, fan_out = probe_gate(
+            pending,
+            lambda position: answers.__setitem__(
+                position, self.search(queries[position], k)
+            ),
+            min_seconds=self.parallel_min_seconds,
+        )
+        if not fan_out:
             for position in pending:
                 answers[position] = self.search(queries[position], k)
             return finalize(answers)
@@ -287,10 +271,17 @@ class QueryService:
             pending[start : start + effective_chunk]
             for start in range(0, len(pending), effective_chunk)
         ]
-        if self.parallelism == "process":
-            chunk_results = self._serve_chunks_forked(queries, chunks, k, workers)
-        else:
-            chunk_results = self._serve_chunks_threaded(queries, chunks, k, workers)
+
+        def serve_chunk(chunk: list[int]) -> list[list[SearchResult]]:
+            # Forked workers inherit the built index through parallel_map's
+            # fork payload (no pickling, no rebuild); the thread fallback
+            # shares it directly.  Either way each query runs the exact
+            # single-query code path, so rankings stay bit-identical.
+            return [self.searcher.search(queries[position], k) for position in chunk]
+
+        chunk_results = parallel_map(
+            serve_chunk, chunks, mode=self.parallelism, workers=workers
+        )
 
         with self._lock:
             for chunk, results in zip(chunks, chunk_results):
@@ -298,49 +289,6 @@ class QueryService:
                     answers[position] = list(result)
                     self._cache_put(self._key(queries[position], k), result)
         return finalize(answers)
-
-    def _serve_chunks_forked(
-        self,
-        queries: list[Table],
-        chunks: list[list[int]],
-        k: int,
-        workers: int,
-    ) -> list[list[list[SearchResult]]]:
-        """Score chunks in forked processes that inherit the built index."""
-        global _FORK_SEARCHER
-        context = multiprocessing.get_context("fork")
-        with _FORK_LOCK:
-            _FORK_SEARCHER = self.searcher
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(chunks)), mp_context=context
-                ) as pool:
-                    return list(
-                        pool.map(
-                            _serve_fork_chunk,
-                            [
-                                ([queries[position] for position in chunk], k)
-                                for chunk in chunks
-                            ],
-                        )
-                    )
-            finally:
-                _FORK_SEARCHER = None
-
-    def _serve_chunks_threaded(
-        self,
-        queries: list[Table],
-        chunks: list[list[int]],
-        k: int,
-        workers: int,
-    ) -> list[list[list[SearchResult]]]:
-        """Thread fallback for platforms without fork (results still cached)."""
-
-        def serve_chunk(chunk: list[int]) -> list[list[SearchResult]]:
-            return [self.searcher.search(queries[position], k) for position in chunk]
-
-        with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-            return list(pool.map(serve_chunk, chunks))
 
     def search_tables(self, query_table: Table, k: int) -> list[Table]:
         """Like :meth:`search` but returning the lake tables themselves."""

@@ -84,11 +84,24 @@ def rankings(searcher, queries, k=8):
 
 # --------------------------------------------------------------------- datalake
 class TestLakeVersioning:
-    def test_constructor_seeds_versions(self):
+    def test_constructor_seeds_without_journaling(self):
+        # Seed tables are the version-0 state, not mutations: constructing a
+        # lake burns no journal entries and version-0 consumers see no delta.
         lake = DataLake([make_table("a"), make_table("b")])
-        assert lake.version == 2
+        assert lake.version == 0
         delta = lake.changes_since(0)
-        assert sorted(delta.added) == ["a", "b"] and not delta.removed
+        assert delta is not None and delta.is_empty
+
+    def test_construction_churn_keeps_journal_window(self, monkeypatch):
+        # Regression: seeding used to journal every table, so building a
+        # large lake exhausted MAX_JOURNAL_ENTRIES and forced version-0
+        # consumers into spurious full rebuilds (changes_since -> None).
+        monkeypatch.setattr(lake_module, "MAX_JOURNAL_ENTRIES", 4)
+        lake = DataLake([make_table(f"seed{i}") for i in range(32)])
+        delta = lake.changes_since(0)
+        assert delta is not None and delta.is_empty
+        lake.add_table(make_table("late"))
+        assert lake.changes_since(0).added == ("late",)
 
     def test_mutations_bump_version_and_journal(self):
         lake = DataLake([make_table("a")])

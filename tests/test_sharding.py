@@ -1,0 +1,722 @@
+"""Tests for lake sharding: partitioning, partial builds, fan-out serving.
+
+Covers the :class:`LakePartitioner`/:class:`LakeShard` views, the seed-table
+journaling fix, the ``build_partial``/``merge_partials`` protocol (property-
+style parity against monolithic ``index()`` over random lakes and partitions,
+including shard-then-delta sequences), the :class:`ShardedSearcher` composite
+(fan-out/merge parity, shard-local refresh, per-shard store persistence), the
+shared :mod:`repro.utils.parallel` machinery and the API surface
+(``DiscoveryConfig`` sharding section, transparent facade sharding, the warm
+CLI's ``--shards``).
+"""
+
+import pytest
+
+import repro.datalake.lake as lake_module
+from repro.api import Discovery, DiscoveryConfig
+from repro.api.cli import main as cli_main
+from repro.benchgen import generate_tus_benchmark
+from repro.datalake import DataLake, LakePartitioner, LakeShard, Table
+from repro.search import (
+    D3LSearcher,
+    OracleSearcher,
+    SantosSearcher,
+    ShardedSearcher,
+    StarmieSearcher,
+    ValueOverlapSearcher,
+    build_sharded,
+)
+from repro.search.base import TableUnionSearcher
+from repro.serving import IndexStore, QueryService
+from repro.utils.errors import (
+    ConfigurationError,
+    DataLakeError,
+    SearchError,
+)
+from repro.utils.parallel import (
+    default_worker_count,
+    forked_map,
+    parallel_map,
+    probe_gate,
+    resolve_parallelism,
+)
+from repro.utils.rng import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def tus_bench():
+    """A small TUS-style benchmark with ground truth (for the oracle)."""
+    return generate_tus_benchmark(
+        num_base_tables=4, base_rows=30, lake_tables_per_base=4, num_queries=2, seed=11
+    )
+
+
+BACKEND_FACTORIES = {
+    "overlap": lambda bench: ValueOverlapSearcher(),
+    "starmie": lambda bench: StarmieSearcher(),
+    "d3l": lambda bench: D3LSearcher(),
+    "santos": lambda bench: SantosSearcher(),
+    "oracle": lambda bench: OracleSearcher(bench.ground_truth),
+}
+
+
+def make_table(name: str, seed: str = "x", rows: int = 6) -> Table:
+    return Table(
+        name=name,
+        columns=["city", "population"],
+        rows=[(f"{seed}ville{i}", str(1000 + i)) for i in range(rows)],
+    )
+
+
+def fresh_lake(bench) -> DataLake:
+    return DataLake((table.copy() for table in bench.lake), name=bench.lake.name)
+
+
+def rankings(searcher, queries, k=8):
+    return [
+        [(hit.table_name, hit.score) for hit in searcher.search(query, k)]
+        for query in queries
+    ]
+
+
+def random_lake(seed: int, num_tables: int = 14) -> DataLake:
+    """A random lake of small tables with varied shapes and shared vocabulary."""
+    rng = seeded_rng(seed)
+    tables = []
+    for index in range(num_tables):
+        num_columns = int(rng.integers(1, 4))
+        num_rows = int(rng.integers(2, 9))
+        columns = [f"col{c}" for c in range(num_columns)]
+        rows = [
+            tuple(
+                f"tok{int(rng.integers(0, 40))}" for _ in range(num_columns)
+            )
+            for _ in range(num_rows)
+        ]
+        tables.append(Table(name=f"rt{index}", columns=columns, rows=rows))
+    return DataLake(tables, name=f"random{seed}")
+
+
+# ----------------------------------------------------------------- partitioner
+class TestLakePartitioner:
+    def test_partition_is_deterministic_and_covering(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        for strategy in ("hash", "size"):
+            partitioner = LakePartitioner(4, strategy=strategy)
+            first = partitioner.partition(lake)
+            second = partitioner.partition(lake)
+            assert all(isinstance(shard, LakeShard) for shard in first)
+            assert [shard.table_names for shard in first] == [
+                shard.table_names for shard in second
+            ]
+            names = [name for shard in first for name in shard.table_names]
+            assert sorted(names) == sorted(lake.table_names())  # disjoint + complete
+
+    def test_hash_assignment_is_mutation_stable(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        partitioner = LakePartitioner(4)
+        before = {
+            name: shard.shard_id
+            for shard in partitioner.partition(lake)
+            for name in shard.table_names
+        }
+        lake.add_table(make_table("newcomer"))
+        after = {
+            name: shard.shard_id
+            for shard in partitioner.partition(lake)
+            for name in shard.table_names
+        }
+        assert all(after[name] == shard for name, shard in before.items())
+        assert after["newcomer"] == partitioner.shard_id_of("newcomer")
+
+    def test_size_strategy_balances_cells(self):
+        tables = [make_table(f"t{i}", rows=2 + 10 * (i % 3)) for i in range(12)]
+        lake = DataLake(tables)
+        shards = LakePartitioner(3, strategy="size").partition(lake)
+        loads = [
+            sum(lake.get(n).num_rows * lake.get(n).num_columns for n in shard.table_names)
+            for shard in shards
+        ]
+        assert max(loads) <= 2 * min(loads)  # near-balanced, never degenerate
+
+    def test_shard_lake_shares_table_objects(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        shard = LakePartitioner(3).partition(lake)[0]
+        view = shard.to_lake()
+        for name in shard.table_names:
+            assert view.get(name) is lake.get(name)  # no copying
+        assert shard.fingerprint() == view.fingerprint()
+
+    def test_mutation_moves_exactly_one_shard_fingerprint(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        partitioner = LakePartitioner(4)
+        before = {s.shard_id: s.fingerprint() for s in partitioner.partition(lake)}
+        mutated = lake.table_names()[0]
+        grown = lake.get(mutated).copy()
+        grown.append_rows([tuple(f"new{i}" for i in range(grown.num_columns))])
+        lake.replace_table(grown)
+        after = {s.shard_id: s.fingerprint() for s in partitioner.partition(lake)}
+        changed = [sid for sid in before if before[sid] != after[sid]]
+        assert changed == [partitioner.shard_id_of(mutated)]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(DataLakeError):
+            LakePartitioner(0)
+        with pytest.raises(DataLakeError):
+            LakePartitioner(2, strategy="roundrobin")
+        with pytest.raises(DataLakeError):
+            LakePartitioner(2, strategy="size").shard_id_of("x")
+
+    def test_more_shards_than_tables_leaves_empty_shards(self):
+        lake = DataLake([make_table("a"), make_table("b")])
+        shards = LakePartitioner(8).partition(lake)
+        assert len(shards) == 8
+        assert sum(shard.num_tables for shard in shards) == 2
+        assert any(shard.is_empty for shard in shards)
+
+
+# ------------------------------------------------------------- seed journaling
+class TestSeedJournaling:
+    def test_seeding_does_not_burn_journal_window(self, monkeypatch):
+        monkeypatch.setattr(lake_module, "MAX_JOURNAL_ENTRIES", 4)
+        lake = DataLake([make_table(f"seed{i}") for i in range(64)])
+        assert lake.version == 0
+        delta = lake.changes_since(0)
+        assert delta is not None and delta.is_empty  # not a forced rebuild
+        lake.add_table(make_table("late"))
+        assert lake.changes_since(0).added == ("late",)
+
+    def test_shard_views_never_advance_parent_consumers(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        base = lake.version
+        for shard in LakePartitioner(4).partition(lake):
+            shard.to_lake()  # materialising views must not journal anything
+        assert lake.version == base
+
+
+# ---------------------------------------------------- partial merge (property)
+class TestPartialMergeParity:
+    @pytest.mark.parametrize("backend", sorted(BACKEND_FACTORIES))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_merge_of_partials_matches_monolithic(self, tus_bench, backend, seed):
+        """Property: random lake x random partition -> merged == monolithic."""
+        rng = seeded_rng(100 + seed)
+        if backend == "oracle":
+            lake = fresh_lake(tus_bench)  # ground truth must reference the lake
+            queries = tus_bench.query_tables
+        else:
+            lake = random_lake(seed)
+            queries = [make_table("query", seed="tok"), random_lake(seed + 50, 1).tables()[0].copy(name="q2")]
+        num_shards = int(rng.integers(2, 6))
+        strategy = ["hash", "size"][int(rng.integers(0, 2))]
+        factory = BACKEND_FACTORIES[backend]
+        monolithic = factory(tus_bench).index(lake)
+
+        builder = factory(tus_bench)
+        shard_lakes = [
+            shard.to_lake()
+            for shard in LakePartitioner(num_shards, strategy=strategy).partition(lake)
+            if not shard.is_empty
+        ]
+        parts = [builder.build_partial(shard_lake) for shard_lake in shard_lakes]
+        merged = factory(tus_bench).merge_partials(lake, parts)
+        assert rankings(merged, queries) == rankings(monolithic, queries)
+
+    @pytest.mark.parametrize("backend", ["overlap", "starmie", "d3l", "santos"])
+    def test_shard_then_delta_then_remerge(self, tus_bench, backend):
+        """Mutating one shard, delta-updating it and re-merging stays exact."""
+        lake = fresh_lake(tus_bench)
+        factory = BACKEND_FACTORIES[backend]
+        partitioner = LakePartitioner(3)
+        shard_lakes = [
+            shard.to_lake()
+            for shard in partitioner.partition(lake)
+            if not shard.is_empty
+        ]
+        shard_searchers = [factory(tus_bench) for _ in shard_lakes]
+        for searcher, shard_lake in zip(shard_searchers, shard_lakes):
+            searcher.index(shard_lake)
+
+        # Mutate tables that all live in one shard (plus one add to it).
+        target = next(sl for sl in shard_lakes if sl.num_tables >= 2)
+        victim = target.table_names()[0]
+        grown = target.get(victim).copy()
+        grown.append_rows([tuple(f"extra{i}" for i in range(grown.num_columns))])
+        target.replace_table(grown)
+        lake.replace_table(grown)
+        added = make_table("zz_shardling")
+        target.add_table(added)
+        lake.add_table(added)
+
+        for searcher in shard_searchers:
+            searcher.refresh()  # only the mutated shard has a real delta
+        parts = [searcher.index_state() for searcher in shard_searchers]
+        remerged = factory(tus_bench).merge_partials(lake, parts)
+        monolithic = factory(tus_bench).index(lake)
+        assert rankings(remerged, tus_bench.query_tables) == rankings(
+            monolithic, tus_bench.query_tables
+        )
+
+    def test_build_partial_leaves_searcher_unindexed(self, tus_bench):
+        searcher = ValueOverlapSearcher()
+        shard = LakePartitioner(2).partition(fresh_lake(tus_bench))[0]
+        searcher.build_partial(shard.to_lake())
+        assert not searcher.is_indexed
+
+    def test_merge_rejects_overlapping_partials(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        searcher = ValueOverlapSearcher()
+        part = searcher.build_partial(lake)
+        with pytest.raises(SearchError):
+            ValueOverlapSearcher().merge_partials(lake, [part, part])
+
+    def test_merge_rejects_incomplete_coverage(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        shard_lakes = [
+            shard.to_lake()
+            for shard in LakePartitioner(3).partition(lake)
+            if not shard.is_empty
+        ]
+        searcher = ValueOverlapSearcher()
+        parts = [searcher.build_partial(shard_lake) for shard_lake in shard_lakes]
+        with pytest.raises(SearchError):
+            ValueOverlapSearcher().merge_partials(lake, parts[:-1])
+
+    def test_default_merge_falls_back_to_monolithic_build(self):
+        class RebuildOnly(TableUnionSearcher):
+            def __init__(self):
+                super().__init__()
+                self.builds = 0
+
+            def _build_index(self, lake):
+                self.builds += 1
+
+            def _index_state(self):
+                return {}, {}
+
+            def _score_table(self, query_table, lake_table):
+                return float(lake_table.num_rows)
+
+        lake = DataLake([make_table("a"), make_table("b")])
+        partial = RebuildOnly().build_partial(lake)
+        searcher = RebuildOnly()
+        searcher.merge_partials(lake, [partial])  # IndexMergeUnsupported -> build
+        assert searcher.builds == 1 and searcher.is_indexed
+
+    def test_forked_build_sharded_matches_serial(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        monolithic = ValueOverlapSearcher().index(lake)
+        forked = build_sharded(
+            ValueOverlapSearcher(),
+            lake,
+            num_shards=4,
+            workers=2,
+            parallelism="process",
+            parallel_min_seconds=0.0,
+        )
+        assert rankings(forked, tus_bench.query_tables) == rankings(
+            monolithic, tus_bench.query_tables
+        )
+
+    def test_build_sharded_single_shard_is_plain_index(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        searcher = build_sharded(ValueOverlapSearcher(), lake, num_shards=1)
+        assert searcher.is_indexed and searcher.lake is lake
+
+
+# -------------------------------------------------------------- rebase helper
+class TestRebase:
+    def test_rebase_unindexed_is_index(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        searcher = ValueOverlapSearcher().rebase(lake)
+        assert searcher.is_indexed and searcher.lake is lake
+
+    def test_rebase_applies_cross_object_delta(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        searcher = ValueOverlapSearcher().index(lake)
+        moved = fresh_lake(tus_bench)
+        moved.add_table(make_table("zz_rebase"))
+        searcher.rebase(moved)
+        assert searcher.lake is moved
+        rebuilt = ValueOverlapSearcher().index(moved)
+        assert rankings(searcher, tus_bench.query_tables) == rankings(
+            rebuilt, tus_bench.query_tables
+        )
+
+    def test_rebase_empty_lake_rejected(self, tus_bench):
+        searcher = ValueOverlapSearcher().index(fresh_lake(tus_bench))
+        with pytest.raises(SearchError):
+            searcher.rebase(DataLake())
+
+
+# ------------------------------------------------------------ sharded searcher
+class TestShardedSearcher:
+    @pytest.mark.parametrize("backend", sorted(BACKEND_FACTORIES))
+    def test_fan_out_matches_monolithic(self, tus_bench, backend):
+        lake = fresh_lake(tus_bench)
+        factory = BACKEND_FACTORIES[backend]
+        monolithic = factory(tus_bench).index(lake)
+        sharded = ShardedSearcher(
+            lambda: factory(tus_bench), num_shards=4, parallelism="serial"
+        ).index(lake)
+        assert rankings(sharded, tus_bench.query_tables) == rankings(
+            monolithic, tus_bench.query_tables
+        )
+
+    def test_starmie_oversized_tables_align_to_global_corpus(self, tus_bench):
+        # Oversized column documents make embeddings corpus-dependent; the
+        # shard-group finalization must erase the shard-local fit exactly.
+        lake = fresh_lake(tus_bench)
+        lake.add_table(
+            Table(name="huge", columns=["words"], rows=[(f"token{i}",) for i in range(700)])
+        )
+        monolithic = StarmieSearcher().index(lake)
+        sharded = ShardedSearcher(
+            StarmieSearcher, num_shards=4, parallelism="serial"
+        ).index(lake)
+        assert rankings(sharded, tus_bench.query_tables) == rankings(
+            monolithic, tus_bench.query_tables
+        )
+
+    def test_starmie_oversized_refresh_realigns(self, tus_bench):
+        # A refresh changes shard-local corpora; finalization must re-derive
+        # the global fit and re-encode oversized tables in *other* shards.
+        lake = fresh_lake(tus_bench)
+        lake.add_table(
+            Table(name="huge", columns=["words"], rows=[(f"token{i}",) for i in range(700)])
+        )
+        sharded = ShardedSearcher(
+            StarmieSearcher, num_shards=4, parallelism="serial"
+        ).index(lake)
+        lake.add_table(make_table("zz_corpus_shift"))
+        sharded.refresh()
+        rebuilt = StarmieSearcher().index(lake)
+        assert rankings(sharded, tus_bench.query_tables) == rankings(
+            rebuilt, tus_bench.query_tables
+        )
+
+    def test_refresh_touches_only_changed_shards(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        sharded = ShardedSearcher(
+            ValueOverlapSearcher, num_shards=4, parallelism="serial"
+        ).index(lake)
+        before = list(sharded.shard_searchers)
+        mutated = lake.table_names()[0]
+        shard_id = sharded.partitioner.shard_id_of(mutated)
+        grown = lake.get(mutated).copy()
+        grown.append_rows([tuple(f"new{i}" for i in range(grown.num_columns))])
+        lake.replace_table(grown)
+        sharded.refresh()
+        after = sharded.shard_searchers
+        for position, (old, new) in enumerate(zip(before, after)):
+            if position == shard_id:
+                continue
+            assert new is old  # untouched shards keep their searchers
+        rebuilt = ValueOverlapSearcher().index(lake)
+        assert rankings(sharded, tus_bench.query_tables) == rankings(
+            rebuilt, tus_bench.query_tables
+        )
+
+    def test_refresh_matches_rebuild_for_every_backend(self, tus_bench):
+        for backend, factory in BACKEND_FACTORIES.items():
+            lake = fresh_lake(tus_bench)
+            sharded = ShardedSearcher(
+                lambda: factory(tus_bench), num_shards=3, parallelism="serial"
+            ).index(lake)
+            lake.add_table(make_table("zz_refresh"))
+            sharded.refresh()
+            rebuilt = factory(tus_bench).index(lake)
+            assert rankings(sharded, tus_bench.query_tables) == rankings(
+                rebuilt, tus_bench.query_tables
+            ), backend
+
+    def test_oracle_sharded_revalidates_on_refresh(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        sharded = ShardedSearcher(
+            lambda: OracleSearcher(tus_bench.ground_truth),
+            num_shards=3,
+            parallelism="serial",
+        ).index(lake)
+        labelled = next(iter(tus_bench.ground_truth.values()))[0]
+        lake.remove_table(labelled)
+        with pytest.raises(SearchError):
+            sharded.refresh()
+
+    def test_invalid_k_and_factory_rejected(self, tus_bench):
+        with pytest.raises(SearchError):
+            ShardedSearcher(lambda: object(), num_shards=2)  # not a searcher
+        lake = fresh_lake(tus_bench)
+        sharded = ShardedSearcher(
+            ValueOverlapSearcher, num_shards=2, parallelism="serial"
+        ).index(lake)
+        with pytest.raises(SearchError):
+            sharded.search(tus_bench.query_tables[0], 0)
+
+    def test_config_fingerprint_matches_prototype(self):
+        sharded = ShardedSearcher(ValueOverlapSearcher, num_shards=4)
+        assert sharded.config_fingerprint() == ValueOverlapSearcher().config_fingerprint()
+        state = sharded.config_state()
+        assert state["base_class"] == "ValueOverlapSearcher"
+        assert state["num_shards"] == 4 and state["strategy"] == "hash"
+
+    def test_score_table_delegates_to_owning_shard(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        sharded = ShardedSearcher(
+            ValueOverlapSearcher, num_shards=3, parallelism="serial"
+        ).index(lake)
+        flat = ValueOverlapSearcher().index(lake)
+        query = tus_bench.query_tables[0]
+        member = lake.tables()[0]
+        assert sharded._score_table(query, member) == flat._score_table(query, member)
+        assert len(sharded.shards) == 3
+        with pytest.raises(SearchError):
+            sharded._score_table(query, make_table("stranger"))
+
+    def test_more_shards_than_tables(self, tus_bench):
+        lake = DataLake([make_table("a"), make_table("b", seed="y")])
+        sharded = ShardedSearcher(
+            ValueOverlapSearcher, num_shards=8, parallelism="serial"
+        ).index(lake)
+        hits = sharded.search(make_table("q", seed="y"), 5)
+        assert [hit.table_name for hit in hits] == [
+            hit.table_name for hit in ValueOverlapSearcher().index(lake).search(make_table("q", seed="y"), 5)
+        ]
+
+
+# ------------------------------------------------------- per-shard persistence
+class TestShardStorePersistence:
+    def test_per_shard_entries_and_load_path(self, tus_bench, tmp_path):
+        store = IndexStore(tmp_path, max_entries_per_backend=None)
+        lake = fresh_lake(tus_bench)
+        first = ShardedSearcher(
+            ValueOverlapSearcher, num_shards=3, parallelism="serial", store=store
+        ).index(lake)
+        occupied = sum(1 for s in first.shard_searchers if s is not None)
+        entries = list(store.backend_dir(ValueOverlapSearcher()).glob("*/manifest.json"))
+        assert len(entries) == occupied  # one entry per non-empty shard
+
+        # A second sharded deployment over the same content loads every shard.
+        builds = {"count": 0}
+        original = ValueOverlapSearcher._build_index
+
+        def counting_build(self, lake):
+            builds["count"] += 1
+            return original(self, lake)
+
+        ValueOverlapSearcher._build_index = counting_build
+        try:
+            second = ShardedSearcher(
+                ValueOverlapSearcher, num_shards=3, parallelism="serial", store=store
+            ).index(lake)
+        finally:
+            ValueOverlapSearcher._build_index = original
+        assert builds["count"] == 0  # all shards served from the store
+        assert rankings(second, tus_bench.query_tables) == rankings(
+            first, tus_bench.query_tables
+        )
+
+    def test_mutating_one_shard_persists_only_that_shard(self, tus_bench, tmp_path):
+        store = IndexStore(tmp_path, max_entries_per_backend=None)
+        lake = fresh_lake(tus_bench)
+        sharded = ShardedSearcher(
+            ValueOverlapSearcher, num_shards=3, parallelism="serial", store=store
+        ).index(lake)
+        backend_dir = store.backend_dir(ValueOverlapSearcher())
+        before = {p.parent.name for p in backend_dir.glob("*/manifest.json")}
+        mutated = lake.table_names()[0]
+        grown = lake.get(mutated).copy()
+        grown.append_rows([tuple(f"new{i}" for i in range(grown.num_columns))])
+        lake.replace_table(grown)
+        sharded.refresh()
+        after = {p.parent.name for p in backend_dir.glob("*/manifest.json")}
+        assert before <= after  # old shard entries remain valid snapshots
+        assert len(after - before) == 1  # exactly one shard re-persisted
+
+    def test_default_store_bound_never_evicts_live_shards(self, tus_bench, tmp_path):
+        # Regression: with the store's default per-backend entry bound (8),
+        # building >8 shards used to evict live shard entries mid-build; the
+        # composite now raises the bound to fit every live shard.
+        store = IndexStore(tmp_path)
+        lake = fresh_lake(tus_bench)
+        sharded = ShardedSearcher(
+            ValueOverlapSearcher, num_shards=12, parallelism="serial", store=store
+        ).index(lake)
+        occupied = sum(1 for s in sharded.shard_searchers if s is not None)
+        assert occupied > 8
+        entries = list(store.backend_dir(ValueOverlapSearcher()).glob("*/manifest.json"))
+        assert len(entries) == occupied
+
+    def test_build_sharded_second_warm_is_a_pure_load(self, tus_bench, tmp_path):
+        store = IndexStore(tmp_path)
+        lake = fresh_lake(tus_bench)
+        first = build_sharded(
+            ValueOverlapSearcher(), lake, num_shards=4, parallelism="serial", store=store
+        )
+        searcher = ValueOverlapSearcher()
+
+        def forbid(*_args, **_kwargs):
+            raise AssertionError("warm store entry should have short-circuited")
+
+        searcher.merge_partials = forbid
+        searcher._build_index = forbid
+        build_sharded(searcher, lake, num_shards=4, parallelism="serial", store=store)
+        assert searcher.is_indexed
+        assert rankings(searcher, tus_bench.query_tables) == rankings(
+            first, tus_bench.query_tables
+        )
+
+    def test_sharded_service_skips_monolithic_store_entry(self, tus_bench, tmp_path):
+        store = IndexStore(tmp_path, max_entries_per_backend=None)
+        lake = fresh_lake(tus_bench)
+        searcher = ShardedSearcher(
+            ValueOverlapSearcher, num_shards=3, parallelism="serial", store=store
+        )
+        service = QueryService(searcher, store=store, parallelism="serial").warm(lake)
+        assert searcher.manages_own_persistence
+        assert not list(tmp_path.glob("ShardedSearcher-*"))  # no composite entry
+        lake.add_table(make_table("zz_served"))
+        service.refresh()
+        fresh = QueryService(ValueOverlapSearcher(), parallelism="serial").warm(lake)
+        query = tus_bench.query_tables[0]
+        assert service.search(query, 8) == fresh.search(query, 8)
+
+
+# ------------------------------------------------------------- utils.parallel
+class TestParallelUtils:
+    def test_resolve_modes(self):
+        assert resolve_parallelism("serial") == "serial"
+        assert resolve_parallelism("auto") in ("process", "thread")
+        assert resolve_parallelism("auto", threads_fallback=False) in (
+            "process",
+            "serial",
+        )
+        with pytest.raises(ConfigurationError):
+            resolve_parallelism("fibers")
+
+    def test_default_worker_count(self):
+        assert default_worker_count(100, max_workers=3) == 3
+        assert 1 <= default_worker_count(100) <= 8
+        assert default_worker_count(1) == 1
+        with pytest.raises(ConfigurationError):
+            default_worker_count(4, max_workers=0)
+
+    def test_probe_gate_skips_fan_out_below_threshold(self):
+        served = []
+        remaining, fan_out = probe_gate(
+            [1, 2, 3], served.append, min_seconds=10_000.0
+        )
+        assert not fan_out
+        assert served == [1]  # one cheap probe settles it; the 2nd never runs
+        assert remaining == [2, 3]
+
+    def test_probe_gate_zero_threshold_always_fans_out(self):
+        served = []
+        remaining, fan_out = probe_gate([1, 2, 3, 4], served.append, min_seconds=0.0)
+        assert fan_out and served == [1, 2] and remaining == [3, 4]
+
+    def test_probe_gate_exhausts_small_workloads(self):
+        served = []
+        remaining, fan_out = probe_gate([1], served.append, min_seconds=10.0)
+        assert served == [1] and remaining == [] and not fan_out
+
+    def test_parallel_map_serial_and_thread(self):
+        items = list(range(7))
+        assert parallel_map(lambda x: x * x, items, mode="serial", workers=2) == [
+            x * x for x in items
+        ]
+        assert parallel_map(lambda x: x + 1, items, mode="thread", workers=3) == [
+            x + 1 for x in items
+        ]
+        with pytest.raises(ConfigurationError):
+            parallel_map(lambda x: x, items, mode="fibers", workers=1)
+
+    def test_forked_map_inherits_closures(self):
+        import os
+
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("platform has no fork")
+        payload = {"base": 10}  # captured, unpicklable-by-reference state
+        parent = os.getpid()
+        results = forked_map(
+            lambda x: (payload["base"] + x, os.getpid()), [1, 2, 3], workers=2
+        )
+        assert [value for value, _ in results] == [11, 12, 13]
+        assert all(pid != parent for _, pid in results)  # really ran in workers
+
+    def test_forked_map_empty_items(self):
+        assert forked_map(lambda x: x, [], workers=4) == []
+
+
+# ---------------------------------------------------------------- API surface
+class TestShardingConfig:
+    def test_sharding_section_round_trips(self):
+        config = DiscoveryConfig.from_dict(
+            {"searcher": "overlap", "sharding": {"num_shards": 4, "build_workers": 2}}
+        )
+        assert config.sharding["num_shards"] == 4
+        assert config.sharding["strategy"] == "hash"
+        rebuilt = DiscoveryConfig.from_dict(config.to_dict())
+        assert rebuilt.fingerprint() == config.fingerprint()
+
+    def test_sharding_section_validated(self):
+        with pytest.raises(ConfigurationError):
+            DiscoveryConfig.from_dict({"sharding": {"num_shards": 0}})
+        with pytest.raises(ConfigurationError):
+            DiscoveryConfig.from_dict({"sharding": {"strategy": "roundrobin"}})
+        with pytest.raises(ConfigurationError):
+            DiscoveryConfig.from_dict({"sharding": {"shards": 4}})  # unknown key
+        with pytest.raises(ConfigurationError):
+            DiscoveryConfig.from_dict({"sharding": {"build_parallelism": "thread"}})
+
+    def test_facade_transparent_sharding_parity(self, tus_bench):
+        lake = fresh_lake(tus_bench)
+        sharded = Discovery.from_config(
+            {
+                "searcher": {"name": "overlap"},
+                "sharding": {"num_shards": 3, "build_parallelism": "serial"},
+            }
+        ).attach(lake)
+        flat = Discovery.from_config({"searcher": {"name": "overlap"}}).attach(lake)
+        query = tus_bench.query_tables[0]
+        assert sharded.search(query, 8) == flat.search(query, 8)
+        assert isinstance(sharded.searcher(), ShardedSearcher)
+        assert sharded.info()["num_shards"] == 3
+
+    def test_facade_sharding_with_serving_and_store(self, tus_bench, tmp_path):
+        lake = fresh_lake(tus_bench)
+        discovery = Discovery.from_config(
+            {
+                "searcher": {"name": "overlap"},
+                "serving": {"store_dir": str(tmp_path), "parallelism": "serial"},
+                "sharding": {"num_shards": 3, "build_parallelism": "serial"},
+            }
+        ).attach(lake)
+        query = tus_bench.query_tables[0]
+        served = discovery.search(query, 8)
+        flat = Discovery.from_config({"searcher": {"name": "overlap"}}).attach(lake)
+        assert served == flat.search(query, 8)
+        assert not list(tmp_path.glob("ShardedSearcher-*"))
+        assert list(tmp_path.glob("ValueOverlapSearcher-*/*/manifest.json"))
+
+    def test_warm_cli_sharded(self, tmp_path, capsys):
+        exit_code = cli_main(
+            [
+                "warm",
+                "--store",
+                str(tmp_path),
+                "--benchmark",
+                "tus",
+                "--backends",
+                "overlap",
+                "--shards",
+                "2",
+                "--num-queries",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "shards=2" in output
+        manifests = list(tmp_path.glob("ValueOverlapSearcher-*/*/manifest.json"))
+        # one entry per non-empty shard plus the merged whole-lake entry
+        assert len(manifests) >= 2
