@@ -61,10 +61,53 @@ def _add_benchmark_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=3)
 
 
+def _add_cascade_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cascade-mode",
+        choices=("exact", "approx"),
+        default=None,
+        help="enable the tiered query cascade in this mode (exact mode is "
+        "bit-identical to the bare backend; approx prunes to a candidate "
+        "budget before exact scoring)",
+    )
+    parser.add_argument(
+        "--cascade-budget",
+        type=int,
+        default=None,
+        help="cascade candidate budget: how many prefilter candidates survive "
+        "to exact scoring (default: config value or 32)",
+    )
+    parser.add_argument(
+        "--cascade-margin",
+        type=float,
+        default=None,
+        help="cascade escalation margin: approximate-score gaps below this "
+        "escalate the query to the full exact path (default: 0, never)",
+    )
+
+
+def _cascade_overrides(args: argparse.Namespace) -> dict:
+    overrides: dict = {}
+    if getattr(args, "cascade_mode", None) is not None:
+        overrides["mode"] = args.cascade_mode
+    if getattr(args, "cascade_budget", None) is not None:
+        overrides["candidate_budget"] = args.cascade_budget
+    if getattr(args, "cascade_margin", None) is not None:
+        overrides["escalation_margin"] = args.cascade_margin
+    return overrides
+
+
 def _load_config(args: argparse.Namespace) -> DiscoveryConfig:
     if getattr(args, "config", None):
-        return DiscoveryConfig.from_file(args.config)
-    return DiscoveryConfig()
+        config = DiscoveryConfig.from_file(args.config)
+    else:
+        config = DiscoveryConfig()
+    overrides = _cascade_overrides(args)
+    if overrides:
+        payload = config.to_dict()
+        payload["cascade"] = {**(payload.get("cascade") or {}), **overrides}
+        config = DiscoveryConfig.from_dict(payload)
+    return config
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument(
         "--output", metavar="FILE", default=None, help="write the result JSON here"
+    )
+    _add_cascade_options(search)
+    search.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage timing breakdown (prefilter / exact scoring / "
+        "diversification / merge) to stderr",
     )
 
     diversify = subparsers.add_parser(
@@ -146,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for parallel shard builds (default: auto)",
     )
+    _add_cascade_options(warm)
     return parser
 
 
@@ -202,7 +253,50 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"wrote {args.output} ({len(result)} selected tuples)")
     else:
         print(text)
+    if args.profile:
+        _print_search_profile(discovery, args.backend, result)
     return 0
+
+
+def _print_search_profile(discovery: Discovery, backend: str | None, result) -> None:
+    """Per-stage timing breakdown of one ``search`` run (to stderr).
+
+    The pipeline records search/embedding/alignment/diversification wall
+    times; when the backend is a :class:`CascadeSearcher` its ``last_profile``
+    splits the search stage further into prefilter / narrow exact scoring /
+    merge and reports whether the query escalated to the full exact path.
+    """
+    from repro.search.cascade import CascadeSearcher
+
+    timings = dict(result.timings)
+    stages: list[tuple[str, float | str]] = []
+    searcher = discovery.searcher(backend)
+    if isinstance(searcher, CascadeSearcher) and searcher.last_profile:
+        profile = searcher.last_profile
+        stages.append(("prefilter", profile.get("prefilter_seconds", 0.0)))
+        stages.append(("exact scoring", profile.get("exact_scoring_seconds", 0.0)))
+        stages.append(("merge", profile.get("merge_seconds", 0.0)))
+        margin = profile.get("margin")
+        stages.append(
+            (
+                "cascade",
+                f"mode={profile.get('mode')} "
+                f"candidates={profile.get('num_candidates')} "
+                f"margin={'n/a' if margin is None else f'{margin:.4f}'} "
+                f"escalated={profile.get('escalated')}",
+            )
+        )
+    else:
+        stages.append(("exact scoring", timings.get("search", 0.0)))
+    for stage in ("embedding", "alignment", "diversification", "total"):
+        if stage in timings:
+            stages.append((stage, timings[stage]))
+    print("per-stage timing breakdown:", file=sys.stderr)
+    for name, value in stages:
+        if isinstance(value, str):
+            print(f"  {name:<16} {value}", file=sys.stderr)
+        else:
+            print(f"  {name:<16} {value * 1000.0:>10.2f} ms", file=sys.stderr)
 
 
 def _prepared_workloads(args: argparse.Namespace, discovery: Discovery, *, single_query: bool):
@@ -286,8 +380,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_warm(args: argparse.Namespace) -> int:
+    from repro.search.cascade import CascadeSearcher
     from repro.search.sharded import build_sharded
     from repro.serving.store import IndexStore
+    from repro.utils.errors import SearchError
 
     if args.shards < 1:
         raise ReproError(f"--shards must be >= 1, got {args.shards}")
@@ -295,18 +391,25 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     lake = benchmark.lake
     store = IndexStore(args.store)
     sharded = args.shards > 1
+    cascade = _cascade_overrides(args)
     print(
         f"warming {len(args.backends)} backend(s) over {args.benchmark!r} "
         f"({lake.num_tables} tables, {lake.num_rows} rows), "
         f"store={store.root}"
         + (f", shards={args.shards}, workers={args.workers or 'auto'}" if sharded else "")
+        + (f", cascade={cascade.get('mode', 'approx')}" if cascade else "")
     )
     for backend in args.backends:
         if backend == "oracle":
             searcher = SEARCHERS.create(backend, ground_truth=benchmark.ground_truth)
         else:
             searcher = SEARCHERS.create(backend)
-        cached = store.contains(searcher, lake)
+        persisted = searcher
+        if cascade and not sharded:
+            # Flat + cascade: the whole cascade entry (backend index +
+            # fitted prefilter) round-trips through one store entry.
+            persisted = CascadeSearcher(searcher, **cascade)
+        cached = store.contains(persisted, lake)
         start = time.perf_counter()
         if sharded:
             build_sharded(
@@ -316,13 +419,23 @@ def _cmd_warm(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 store=store,
             )
+            if cascade:
+                # The base is already live on this lake, so wrapping only
+                # fits the prefilter; the cascade entry persists alongside
+                # the per-shard and merged whole-lake entries.
+                persisted = CascadeSearcher(searcher, **cascade)
+                persisted.index(lake)
+                try:
+                    store.save(persisted, lake)
+                except SearchError:
+                    pass  # backends without index_state() still warmed
         else:
-            store.load_or_build(searcher, lake)
+            store.load_or_build(persisted, lake)
         elapsed = time.perf_counter() - start
         action = "loaded" if cached else "built"
         print(
             f"  {backend:>8}: {action} in {elapsed:.3f}s -> "
-            f"{store.entry_dir(searcher, lake)}"
+            f"{store.entry_dir(persisted, lake)}"
         )
     return 0
 

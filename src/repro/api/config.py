@@ -70,6 +70,16 @@ _SHARDING_DEFAULTS: dict[str, Any] = {
     "build_parallelism": "auto",
     "parallel_min_seconds": 0.5,
 }
+_CASCADE_DEFAULTS: dict[str, Any] = {
+    "mode": "approx",
+    "prefilter": "auto",
+    "candidate_budget": 32,
+    "escalation_margin": 0.0,
+    "projection_dim": 16,
+    "num_hashes": 64,
+    "num_bands": 16,
+    "seed": 7,
+}
 
 
 @dataclass(frozen=True)
@@ -193,6 +203,39 @@ def _validate_sharding(sharding: Mapping[str, Any]) -> None:
         )
 
 
+def _validate_cascade(cascade: Mapping[str, Any]) -> None:
+    """Eagerly apply the CascadeSearcher/prefilter value constraints."""
+    if cascade["mode"] not in ("exact", "approx"):
+        raise ConfigurationError(
+            f"cascade.mode must be exact/approx, got {cascade['mode']!r}"
+        )
+    if cascade["prefilter"] not in ("auto", "lsh", "projection"):
+        raise ConfigurationError(
+            "cascade.prefilter must be auto/lsh/projection, "
+            f"got {cascade['prefilter']!r}"
+        )
+    budget = cascade["candidate_budget"]
+    if not isinstance(budget, int) or budget < 1:
+        raise ConfigurationError(
+            f"cascade.candidate_budget must be a positive integer, got {budget!r}"
+        )
+    if cascade["escalation_margin"] < 0:
+        raise ConfigurationError(
+            "cascade.escalation_margin must be non-negative, "
+            f"got {cascade['escalation_margin']}"
+        )
+    if cascade["projection_dim"] < 1:
+        raise ConfigurationError(
+            f"cascade.projection_dim must be positive, got {cascade['projection_dim']}"
+        )
+    num_hashes, num_bands = cascade["num_hashes"], cascade["num_bands"]
+    if num_hashes < 1 or num_bands < 1 or num_hashes % num_bands != 0:
+        raise ConfigurationError(
+            f"cascade.num_hashes ({num_hashes}) must be a positive multiple of "
+            f"cascade.num_bands ({num_bands})"
+        )
+
+
 def _checked_section(
     section: str, payload: Mapping[str, Any], allowed: tuple[str, ...]
 ) -> dict[str, Any]:
@@ -235,6 +278,13 @@ class DiscoveryConfig:
     #: — partition-parallel builds, fan-out/merge serving, per-shard store
     #: entries — transparently, with rankings bit-identical to a flat index.
     sharding: dict[str, Any] | None = None
+    #: Optional tiered-cascade section: ``{"mode": "approx",
+    #: "candidate_budget": 32, "escalation_margin": 0.0, ...}``.  When present
+    #: the facade wraps the built backend in a
+    #: :class:`~repro.search.cascade.CascadeSearcher` — approximate candidate
+    #: prefilter, narrow exact scoring, ambiguity-triggered escalation.
+    #: ``mode: "exact"`` keeps rankings bit-identical to the bare backend.
+    cascade: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         for section, registry in _COMPONENT_SECTIONS.items():
@@ -263,6 +313,13 @@ class DiscoveryConfig:
             )
             self.sharding = {**_SHARDING_DEFAULTS, **sharding}
             _validate_sharding(self.sharding)
+
+        if self.cascade is not None:
+            cascade = _checked_section(
+                "cascade", self.cascade, tuple(_CASCADE_DEFAULTS)
+            )
+            self.cascade = {**_CASCADE_DEFAULTS, **cascade}
+            _validate_cascade(self.cascade)
 
     # -------------------------------------------------------------- resolution
     def pipeline_config(self) -> PipelineConfig:
@@ -294,7 +351,7 @@ class DiscoveryConfig:
                 kwargs[section] = ComponentSpec.from_value(
                     payload[section], section=section
                 )
-        for section in ("pipeline", "dust", "serving", "sharding"):
+        for section in ("pipeline", "dust", "serving", "sharding", "cascade"):
             if section in payload:
                 kwargs[section] = payload[section]
         return cls(**kwargs)
@@ -311,6 +368,8 @@ class DiscoveryConfig:
             payload["serving"] = dict(self.serving)
         if self.sharding is not None:
             payload["sharding"] = dict(self.sharding)
+        if self.cascade is not None:
+            payload["cascade"] = dict(self.cascade)
         return payload
 
     @classmethod

@@ -37,6 +37,7 @@ from repro.core.pipeline import DustPipeline, DustResult
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.search.base import SearchResult, TableUnionSearcher
+from repro.search.cascade import CascadeSearcher
 from repro.search.sharded import ShardedSearcher
 from repro.serving.service import QueryService
 from repro.serving.store import IndexStore
@@ -341,7 +342,7 @@ class Discovery:
             # in parallel, serves by fan-out/merge and (with a store)
             # persists per shard — rankings bit-identical to the flat
             # backend, so nothing downstream changes.
-            return ShardedSearcher(
+            searcher: TableUnionSearcher = ShardedSearcher(
                 factory,
                 num_shards=sharding["num_shards"],
                 strategy=sharding["strategy"],
@@ -350,7 +351,25 @@ class Discovery:
                 parallel_min_seconds=sharding["parallel_min_seconds"],
                 store=self._store,
             )
-        return factory()
+        else:
+            searcher = factory()
+        cascade = self.config.cascade
+        if cascade is not None:
+            # Outermost wrapper: the cascade prefilters over the (possibly
+            # sharded) backend and pushes its candidate budget down through
+            # score_candidates; in "exact" mode it delegates wholesale.
+            searcher = CascadeSearcher(
+                searcher,
+                mode=cascade["mode"],
+                candidate_budget=cascade["candidate_budget"],
+                escalation_margin=cascade["escalation_margin"],
+                prefilter=cascade["prefilter"],
+                projection_dim=cascade["projection_dim"],
+                num_hashes=cascade["num_hashes"],
+                num_bands=cascade["num_bands"],
+                seed=cascade["seed"],
+            )
+        return searcher
 
     def _ensure_backend(self, backend: str) -> TableUnionSearcher:
         key = self._backend_key(backend)
@@ -521,5 +540,10 @@ class Discovery:
                 self.config.sharding["num_shards"]
                 if self.config.sharding is not None
                 else 1
+            ),
+            "cascade": (
+                self.config.cascade["mode"]
+                if self.config.cascade is not None
+                else None
             ),
         }

@@ -15,6 +15,14 @@ let a lake's index be assembled from per-shard builds —
 in forked workers, and :class:`~repro.search.sharded.ShardedSearcher` keeps
 the shards separate and serves queries by fan-out/merge, bit-identical to a
 flat index either way.
+
+Query latency is made sub-linear in lake size by the **tiered cascade**
+(:mod:`repro.search.cascade`): :class:`~repro.search.cascade.CascadeSearcher`
+wraps any backend, prunes the lake with an approximate
+:class:`~repro.search.cascade.CandidatePrefilter` (LSH bucket probe or
+low-dimensional random projection), exact-scores only the surviving
+candidates through the backends' ``score_candidates`` narrow hook, and
+escalates to the full exact path when the approximate margin is ambiguous.
 """
 
 from repro.search.base import TableUnionSearcher, SearchResult
@@ -25,6 +33,12 @@ from repro.search.d3l import D3LSearcher
 from repro.search.santos import SantosSearcher
 from repro.search.oracle import OracleSearcher
 from repro.search.sharded import ShardedSearcher, build_sharded
+from repro.search.cascade import (
+    CandidatePrefilter,
+    CascadeSearcher,
+    LSHPrefilter,
+    ProjectionPrefilter,
+)
 
 __all__ = [
     "TableUnionSearcher",
@@ -38,4 +52,8 @@ __all__ = [
     "OracleSearcher",
     "ShardedSearcher",
     "build_sharded",
+    "CandidatePrefilter",
+    "CascadeSearcher",
+    "LSHPrefilter",
+    "ProjectionPrefilter",
 ]

@@ -392,10 +392,97 @@ class TableUnionSearcher(abc.ABC):
         self._record_indexed_lake(lake)
         return self
 
+    # ------------------------------------------------------- cascade prefilter
+    def prefilter_table_vectors(self) -> "dict[str, np.ndarray] | None":
+        """Per-table embedding vectors a cascade prefilter can project.
+
+        Embedding-scored backends (Starmie/D3L/SANTOS) return one dense vector
+        per indexed lake table — cheap aggregates of index entries they already
+        hold — so the random-projection prefilter of
+        :mod:`repro.search.cascade` can rank candidates without touching the
+        exact scorer.  Backends without a natural embedding (the overlap
+        searcher, the oracle) return ``None`` and the cascade falls back to
+        the LSH bucket-probe prefilter.
+        """
+        return None
+
+    def prefilter_query_vector(self, query_table: Table) -> np.ndarray:
+        """Query-side counterpart of :meth:`prefilter_table_vectors`."""
+        raise SearchError(
+            f"{type(self).__name__} exposes no prefilter embeddings"
+        )
+
+    def prefilter_minhash_signatures(
+        self, num_hashes: int, seed: int
+    ) -> "dict[str, np.ndarray] | None":
+        """Per-table MinHash signatures reusable by an LSH prefilter.
+
+        A table-level signature is the elementwise minimum of its columns'
+        signatures (MinHash of a union is the min of the MinHashes), so
+        backends that already hold per-column signatures under the same hash
+        family — the overlap searcher — can hand them over instead of making
+        the prefilter re-hash every cell value.  ``None`` means the prefilter
+        hashes the lake itself.
+        """
+        return None
+
     # ----------------------------------------------------------------- search
     @abc.abstractmethod
     def _score_table(self, query_table: Table, lake_table: Table) -> float:
         """Unionability score of ``lake_table`` with respect to ``query_table``."""
+
+    def _score_candidate_names(
+        self, query_table: Table, names: Iterable[str]
+    ) -> dict[str, float]:
+        """Shared narrow-scoring loop: exact-score exactly ``names``.
+
+        The workhorse behind every backend's :meth:`score_candidates`
+        override — per-table scores depend only on the query and that table's
+        index entry, so scoring a candidate subset is the same arithmetic as
+        :meth:`search` restricted to it (the query-side memo each backend
+        keeps makes the per-candidate cost marginal).  Duplicate names are
+        scored once; the query's own name is skipped exactly as in
+        :meth:`search`; unknown names fail loudly — a prefilter proposing a
+        table the index does not hold is a bug, not something to skip.
+        """
+        lake = self.lake
+        scores: dict[str, float] = {}
+        for name in dict.fromkeys(names):
+            if name == query_table.name:
+                continue
+            if name not in lake:
+                raise SearchError(
+                    f"candidate table {name!r} is not in the indexed lake"
+                )
+            scores[name] = float(self._score_table(query_table, lake.get(name)))
+        return scores
+
+    def score_candidates(
+        self, query_table: Table, names: Iterable[str]
+    ) -> dict[str, float]:
+        """Exact scores for just the candidate tables in ``names``.
+
+        The narrow-scoring hook of the tiered query cascade
+        (:class:`~repro.search.cascade.CascadeSearcher`): after an
+        approximate prefilter prunes the lake down to a candidate set, only
+        that set is exact-scored.  Scores are **bit-identical** to the ones
+        :meth:`search` would assign — the cascade's exactness contract rests
+        on it.
+
+        The default implementation falls back to a full :meth:`search` and
+        filters, so wrappers that override ``search`` wholesale stay correct
+        without a dedicated narrow path; every built-in backend overrides
+        this with :meth:`_score_candidate_names` (or better) so the cost is
+        proportional to ``len(names)``, not the lake.
+        """
+        wanted = {name for name in names if name != query_table.name}
+        missing = wanted - set(self.lake.table_names())
+        if missing:
+            raise SearchError(
+                f"candidate table {sorted(missing)[0]!r} is not in the indexed lake"
+            )
+        hits = self.search(query_table, max(self.lake.num_tables, 1))
+        return {hit.table_name: hit.score for hit in hits if hit.table_name in wanted}
 
     def search(self, query_table: Table, k: int) -> list[SearchResult]:
         """Return the top-``k`` unionable tables for ``query_table``.

@@ -11,7 +11,7 @@ from __future__ import annotations
 import re
 import threading
 from collections import Counter
-from typing import Mapping
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -328,6 +328,33 @@ class D3LSearcher(TableUnionSearcher):
             self.signal_weights[name] * max(0.0, value) for name, value in signals.items()
         )
         return weighted / total_weight if total_weight > 0 else 0.0
+
+    # ------------------------------------------------------- cascade prefilter
+    def _mean_embedding(self, vectors: list[np.ndarray]) -> np.ndarray:
+        if not vectors:
+            return np.zeros(self._word_model.info.dimension, dtype=np.float64)
+        return np.mean(np.vstack(vectors), axis=0)
+
+    def prefilter_table_vectors(self) -> dict[str, np.ndarray] | None:
+        """Per-table mean of the indexed column word-embeddings — the cheap
+        stand-in for the embedding term of the aggregated signal."""
+        if not self._embeddings:
+            return None
+        return {
+            name: self._mean_embedding(list(columns.values()))
+            for name, columns in self._embeddings.items()
+        }
+
+    def prefilter_query_vector(self, query_table: Table) -> np.ndarray:
+        signals = self._query_column_signals(query_table)
+        return self._mean_embedding([signal[3] for signal in signals.values()])
+
+    def score_candidates(
+        self, query_table: Table, names: Iterable[str]
+    ) -> dict[str, float]:
+        """Narrow exact scoring: the query-side signal inputs are memoised, so
+        each candidate costs only its own column-pair comparisons."""
+        return self._score_candidate_names(query_table, names)
 
     def _score_table(self, query_table: Table, lake_table: Table) -> float:
         if query_table.num_columns == 0 or lake_table.num_columns == 0:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -122,6 +122,29 @@ class OracleSearcher(TableUnionSearcher):
     def unionable_tables(self, query_name: str) -> list[str]:
         """Ground-truth unionable table names for ``query_name`` (empty if unknown)."""
         return list(self._ground_truth.get(query_name, []))
+
+    def score_candidates(
+        self, query_table: Table, names: Iterable[str]
+    ) -> dict[str, float]:
+        """Narrow exact scoring with the labelled-set shortcut: candidates
+        outside the query's ground truth score 0.0 by definition, so only the
+        labelled ones pay the token-set overlap arithmetic."""
+        lake = self.lake
+        labelled = set(self._ground_truth.get(query_table.name, []))
+        scores: dict[str, float] = {}
+        for name in dict.fromkeys(names):
+            if name == query_table.name:
+                continue
+            if name not in lake:
+                raise SearchError(
+                    f"candidate table {name!r} is not in the indexed lake"
+                )
+            scores[name] = (
+                float(self._score_table(query_table, lake.get(name)))
+                if name in labelled
+                else 0.0
+            )
+        return scores
 
     def _score_table(self, query_table: Table, lake_table: Table) -> float:
         labelled = set(self._ground_truth.get(query_table.name, []))

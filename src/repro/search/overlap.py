@@ -10,7 +10,7 @@ signal of the original TUS system, accelerated with MinHash/LSH.
 from __future__ import annotations
 
 import threading
-from typing import Mapping
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.api.registry import register_searcher
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.search.base import IndexState, TableUnionSearcher, merge_shard_table_maps
-from repro.search.minhash import MinHashLSHIndex, MinHashSignature
+from repro.search.minhash import _MAX_HASH, MinHashLSHIndex, MinHashSignature
 from repro.utils.errors import SearchError
 from repro.utils.text import is_null, normalize_text
 
@@ -239,6 +239,40 @@ class ValueOverlapSearcher(TableUnionSearcher):
             for table, columns in state["columns_by_table"].items()
         }
         self._finalize_matrix()
+
+    # ------------------------------------------------------- cascade prefilter
+    def prefilter_minhash_signatures(
+        self, num_hashes: int, seed: int
+    ) -> dict[str, np.ndarray] | None:
+        """Table-level signatures as elementwise minima of the column rows.
+
+        MinHash of a union of token sets is the elementwise min of the sets'
+        signatures, so the per-column rows already stacked in
+        ``_signature_matrix`` reduce to exact table signatures without
+        re-hashing a single cell value.  Only valid when the prefilter asks
+        for the same hash family this index was built under
+        (``_build_index`` uses the :class:`MinHashLSHIndex` default seed).
+        """
+        if (
+            self._signature_matrix is None
+            or num_hashes != self.num_hashes
+            or seed != 7
+        ):
+            return None
+        signatures: dict[str, np.ndarray] = {}
+        for name, rows in self._table_rows.items():
+            if rows.size == 0:  # a table of empty columns hashes to all-max
+                signatures[name] = np.full(self.num_hashes, _MAX_HASH, dtype=np.int64)
+            else:
+                signatures[name] = self._signature_matrix[rows].min(axis=0)
+        return signatures
+
+    def score_candidates(
+        self, query_table: Table, names: Iterable[str]
+    ) -> dict[str, float]:
+        """Narrow exact scoring: the per-query match counts are memoised, so
+        each candidate costs one ``max`` reduce over its rows."""
+        return self._score_candidate_names(query_table, names)
 
     # ----------------------------------------------------------------- search
     def _score_table(self, query_table: Table, lake_table: Table) -> float:

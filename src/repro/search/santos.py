@@ -11,7 +11,7 @@ paired values.
 from __future__ import annotations
 
 import threading
-from typing import Mapping
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -235,6 +235,33 @@ class SantosSearcher(TableUnionSearcher):
                 what="SANTOS partial merge",
             )
         )
+
+    # ------------------------------------------------------- cascade prefilter
+    def _mean_embedding(self, vectors: list[np.ndarray]) -> np.ndarray:
+        if not vectors:
+            return np.zeros(self._word_model.info.dimension, dtype=np.float64)
+        return np.mean(np.vstack(vectors), axis=0)
+
+    def prefilter_table_vectors(self) -> dict[str, np.ndarray] | None:
+        """Per-table mean of the indexed column-content vectors — a cheap
+        aggregate tracking the column-semantics component of the score."""
+        if not self._column_vectors:
+            return None
+        return {
+            name: self._mean_embedding(list(columns.values()))
+            for name, columns in self._column_vectors.items()
+        }
+
+    def prefilter_query_vector(self, query_table: Table) -> np.ndarray:
+        column_vectors, _ = self._query_vectors(query_table)
+        return self._mean_embedding(list(column_vectors.values()))
+
+    def score_candidates(
+        self, query_table: Table, names: Iterable[str]
+    ) -> dict[str, float]:
+        """Narrow exact scoring: the (quadratic-in-columns) query relationship
+        embeddings are memoised, so each candidate pays only its own matmuls."""
+        return self._score_candidate_names(query_table, names)
 
     # ----------------------------------------------------------------- scoring
     @staticmethod

@@ -430,3 +430,64 @@ class ShardedSearcher(TableUnionSearcher):
                 f"table {lake_table.name!r} is not covered by any shard index"
             )
         return self._shard_searchers[shard_id]._score_table(query_table, lake_table)
+
+    # ------------------------------------------------------- cascade prefilter
+    def score_candidates(self, query_table, names) -> dict[str, float]:
+        """Per-shard candidate pushdown: the cascade's global candidate budget
+        is split by ownership, so each shard exact-scores only its own members
+        through the backend's narrow path — no shard pays a full local search.
+        Per-table scores are shard-independent (``finalize_shard_group``
+        closes Starmie's corpus gap), so the union is bit-identical to the
+        flat backend's ``score_candidates``."""
+        self.lake  # raises before index()
+        unique = [name for name in dict.fromkeys(names) if name != query_table.name]
+        by_shard: dict[int, list[str]] = {}
+        for name in unique:
+            shard_id = self._shard_of_table.get(name)
+            if shard_id is None or self._shard_searchers[shard_id] is None:
+                raise SearchError(
+                    f"candidate table {name!r} is not in the indexed lake"
+                )
+            by_shard.setdefault(shard_id, []).append(name)
+        scores: dict[str, float] = {}
+        for shard_id, shard_names in by_shard.items():
+            scores.update(
+                self._shard_searchers[shard_id].score_candidates(
+                    query_table, shard_names
+                )
+            )
+        return {name: scores[name] for name in unique if name in scores}
+
+    def prefilter_table_vectors(self):
+        """Union of the shard searchers' vectors (``None`` if any shard lacks
+        them — the cascade then falls back to the LSH prefilter uniformly)."""
+        merged: dict = {}
+        for searcher in self._shard_searchers:
+            if searcher is None:
+                continue
+            vectors = searcher.prefilter_table_vectors()
+            if vectors is None:
+                return None
+            merged.update(vectors)
+        return merged or None
+
+    def prefilter_query_vector(self, query_table):
+        for searcher in self._shard_searchers:
+            if searcher is not None:
+                # Query embeddings match across shards: stateless encoders
+                # everywhere, and finalize_shard_group aligns Starmie's fit.
+                return searcher.prefilter_query_vector(query_table)
+        raise SearchError("ShardedSearcher has no shard searchers to embed with")
+
+    def prefilter_minhash_signatures(self, num_hashes: int, seed: int):
+        """Union of the shard searchers' table signatures (signatures are pure
+        functions of one table's token sets, so shard-local ones are exact)."""
+        merged: dict = {}
+        for searcher in self._shard_searchers:
+            if searcher is None:
+                continue
+            signatures = searcher.prefilter_minhash_signatures(num_hashes, seed)
+            if signatures is None:
+                return None
+            merged.update(signatures)
+        return merged or None

@@ -276,6 +276,32 @@ class StarmieSearcher(TableUnionSearcher):
         }
         self._column_embeddings = self._decode_column_embeddings(state, arrays)
 
+    # ------------------------------------------------------- cascade prefilter
+    def _mean_embedding(self, embeddings: Mapping[str, np.ndarray]) -> np.ndarray:
+        if not embeddings:
+            return np.zeros(self.column_encoder.info.dimension, dtype=np.float64)
+        return np.mean(np.vstack(list(embeddings.values())), axis=0)
+
+    def prefilter_table_vectors(self) -> dict[str, np.ndarray] | None:
+        """Per-table mean of the indexed column embeddings — a cheap aggregate
+        whose cosine neighbourhoods track the bipartite-matching score."""
+        if not self._column_embeddings:
+            return None
+        return {
+            name: self._mean_embedding(columns)
+            for name, columns in self._column_embeddings.items()
+        }
+
+    def prefilter_query_vector(self, query_table: Table) -> np.ndarray:
+        return self._mean_embedding(self._query_embeddings(query_table))
+
+    def score_candidates(
+        self, query_table: Table, names: Iterable[str]
+    ) -> dict[str, float]:
+        """Narrow exact scoring: the query encoding is memoised, so each
+        candidate costs one bipartite matching over its own columns."""
+        return self._score_candidate_names(query_table, names)
+
     # ----------------------------------------------------------------- scoring
     def _bipartite_score(
         self,

@@ -91,7 +91,6 @@ class QueryService:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
-        self._backend_fingerprint = searcher.config_fingerprint()
         self._lake_fingerprint = (
             searcher.lake.fingerprint() if searcher.is_indexed else None
         )
@@ -168,8 +167,12 @@ class QueryService:
     def _key(self, query_table: Table, k: int) -> CacheKey:
         if self._lake_fingerprint is None:
             raise ServingError("QueryService used before warm()/an indexed searcher")
+        # The backend fingerprint is read live, not captured at construction:
+        # wrappers like CascadeSearcher fold their own configuration (mode,
+        # budget, margin) into config_fingerprint(), and two cascade configs
+        # over the same backend+lake must never share cached rankings.
         return (
-            self._backend_fingerprint,
+            self.searcher.config_fingerprint(),
             self._lake_fingerprint,
             query_table.content_fingerprint(),
             int(k),

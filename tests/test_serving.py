@@ -14,6 +14,7 @@ from repro.embeddings.column import CellLevelColumnEncoder
 from repro.embeddings.word import FastTextLikeModel
 from repro.evaluation import prepare_query_workload, prepare_query_workloads
 from repro.search import (
+    CascadeSearcher,
     D3LSearcher,
     OracleSearcher,
     SantosSearcher,
@@ -264,6 +265,29 @@ class TestQueryService:
         assert service.cache_stats["size"] == 1
         service.search(first, 5)
         assert searcher.search_calls == 3
+
+    def test_cache_key_tracks_live_searcher_config(self, small_benchmark):
+        """Regression: the cache key must fold in the *current* searcher
+        config fingerprint, not one captured at construction — flipping a
+        cascade config on a live service must never serve stale rankings."""
+        searcher = CascadeSearcher(
+            ValueOverlapSearcher(), mode="approx", candidate_budget=4
+        )
+        service = QueryService(searcher, max_workers=1).warm(small_benchmark.lake)
+        query = small_benchmark.query_tables[0]
+
+        approx_key = service._key(query, 5)
+        service.search(query, 5)
+        searcher.mode = "exact"  # live config change on the served searcher
+        exact_key = service._key(query, 5)
+        assert exact_key != approx_key
+        service.search(query, 5)
+        # Two distinct entries were cached — no hit despite identical
+        # lake/query/k — and flipping back hits the original approx entry.
+        assert service.cache_stats == {"hits": 0, "misses": 2, "size": 2}
+        searcher.mode = "approx"
+        service.search(query, 5)
+        assert service.cache_stats["hits"] == 1
 
     def test_warm_through_store_skips_rebuild(self, small_benchmark, tmp_path):
         store = IndexStore(tmp_path / "store")
