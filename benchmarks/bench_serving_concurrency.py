@@ -1,0 +1,221 @@
+"""Concurrent clients against the resident discovery server.
+
+Drives ≥4 threaded HTTP clients through :class:`~repro.serving.server.DiscoveryServer`
+(the ``python -m repro serve`` subsystem) and checks the three properties the
+server mode promises:
+
+* **Correctness under concurrency** — every wire response is parity-asserted
+  against a direct :class:`~repro.api.facade.Discovery` run of the same query
+  with the same config: the canonical serializations (volatile ``timings``
+  stripped) must be bit-identical.
+* **Liveness under mutation** — halfway through, a table is added to the
+  served lake; the background maintenance loop must re-sync the index
+  (observed via ``/v1/metrics``) and subsequent responses must reflect the
+  mutated lake, without a restart.
+* **Observable latency** — p50/p95 are computed from the server's JSONL
+  event log (one event per served/rejected query), not client-side clocks.
+
+Results are written to ``BENCH_serving.json`` at the repo root.  ``--smoke``
+shrinks rounds for the CI bench-smoke job; the run always gates on parity
+(a single mismatched response is a failure at any scale).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving_concurrency.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.api.facade import Discovery
+from repro.api.schema import canonical_result_payload, dump_result
+from repro.benchgen import generate_ugen_benchmark
+from repro.datalake import table_from_payload, table_to_payload
+from repro.serving.events import latency_summary, read_events
+from repro.serving.server import DiscoveryServer
+
+#: Top-k requested per query.
+K = 5
+#: The deployment config shared by the server and the direct-parity facade.
+CONFIG = {"serving": {}}
+
+
+def _post_search(url: str, query_index: int) -> tuple[int, bytes]:
+    request = urllib.request.Request(
+        url + "/v1/search",
+        data=json.dumps({"query_index": query_index, "k": K}).encode(),
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, response.read()
+
+
+def _get(url: str, path: str) -> dict:
+    with urllib.request.urlopen(url + path) as response:
+        return json.loads(response.read())
+
+
+def _canonical(body: bytes) -> str:
+    return dump_result(canonical_result_payload(json.loads(body)))
+
+
+def _expected_payloads(lake, queries) -> list[str]:
+    """Canonical direct-facade result per query for the lake's current content."""
+    with Discovery.from_config(CONFIG).attach(lake) as direct:
+        return [
+            dump_result(canonical_result_payload(direct.run(query, k=K).to_dict()))
+            for query in queries
+        ]
+
+
+def _run_phase(url: str, expected: list[str], clients: int, rounds: int) -> dict:
+    """``clients`` threads, each issuing ``rounds`` parity-checked searches."""
+    mismatches: list[str] = []
+    statuses: list[int] = []
+    lock = threading.Lock()
+
+    def _client(slot: int) -> None:
+        for round_index in range(rounds):
+            query_index = (slot + round_index) % len(expected)
+            status, body = _post_search(url, query_index)
+            canonical = _canonical(body) if status == 200 else None
+            with lock:
+                statuses.append(status)
+                if status == 200 and canonical != expected[query_index]:
+                    mismatches.append(
+                        f"client {slot} round {round_index} query {query_index}"
+                    )
+
+    threads = [threading.Thread(target=_client, args=(slot,)) for slot in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return {
+        "requests": len(statuses),
+        "ok": sum(1 for status in statuses if status == 200),
+        "mismatches": mismatches,
+        "wall_seconds": elapsed,
+    }
+
+
+def _wait_for_resync(url: str, *, timeout: float = 30.0) -> int:
+    """Block until the background maintenance loop reports a re-sync."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        resyncs = _get(url, "/v1/metrics")["maintenance"]["resyncs"]
+        if resyncs >= 1:
+            return resyncs
+        time.sleep(0.05)
+    raise SystemExit("FAIL: maintenance loop never re-synced the mutated lake")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer rounds (CI bench-smoke mode); parity still gates",
+    )
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_serving.json"),
+        help="where to write the machine-readable results (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    clients = max(4, args.clients)  # the acceptance scenario needs >= 4
+    rounds = 2 if args.smoke else args.rounds
+
+    benchmark = generate_ugen_benchmark(num_queries=3, seed=args.seed)
+    lake = benchmark.lake
+    queries = benchmark.query_tables
+    expected_before = _expected_payloads(lake, queries)
+
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmp:
+        event_path = Path(tmp) / "events.jsonl"
+        with DiscoveryServer.from_config(
+            CONFIG,
+            lake,
+            queries=queries,
+            port=0,
+            max_inflight=clients,
+            queue_timeout_seconds=60.0,
+            event_log=str(event_path),
+            maintenance_interval_seconds=0.05,
+            maintenance_idle_seconds=0.05,
+        ) as server:
+            print(f"serving {server.url} with {clients} clients x {rounds} rounds")
+            phase_before = _run_phase(server.url, expected_before, clients, rounds)
+
+            # Mid-run mutation: a renamed copy of query 0 joins the lake, so
+            # post-re-sync rankings for query 0 must contain it.
+            clone = table_from_payload(
+                {**table_to_payload(queries[0]), "name": "bench_mid_run_clone"}
+            )
+            lake.add_table(clone)
+            resyncs = _wait_for_resync(server.url)
+            expected_after = _expected_payloads(lake, queries)
+            phase_after = _run_phase(server.url, expected_after, clients, rounds)
+
+            status, body = _post_search(server.url, 0)
+            ranked = [hit["table"] for hit in json.loads(body)["search_results"]]
+            clone_ranked = "bench_mid_run_clone" in ranked
+            metrics = _get(server.url, "/v1/metrics")
+        events = read_events(event_path)
+
+    served = [
+        event
+        for event in events
+        if event.get("kind") == "search" and event.get("status") == "ok"
+    ]
+    latency = latency_summary(served)
+    results = {
+        "benchmark": "ugen",
+        "k": K,
+        "seed": args.seed,
+        "smoke": bool(args.smoke),
+        "clients": clients,
+        "rounds": rounds,
+        "phase_before_mutation": phase_before,
+        "phase_after_mutation": phase_after,
+        "maintenance_resyncs": resyncs,
+        "clone_ranked_after_resync": clone_ranked,
+        "latency_from_event_log": latency,
+        "server_counters": metrics["counters"],
+    }
+    Path(args.output).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(
+        f"served={latency['count']} p50={latency['p50'] * 1000:.1f}ms "
+        f"p95={latency['p95'] * 1000:.1f}ms resyncs={resyncs} "
+        f"clone_ranked={clone_ranked}"
+    )
+    print(f"wrote {args.output}")
+
+    failures = phase_before["mismatches"] + phase_after["mismatches"]
+    if failures:
+        raise SystemExit(f"FAIL: wire/facade parity mismatches: {failures[:5]}")
+    expected_ok = 2 * clients * rounds
+    if phase_before["ok"] + phase_after["ok"] != expected_ok:
+        raise SystemExit(
+            f"FAIL: expected {expected_ok} served requests, got "
+            f"{phase_before['ok'] + phase_after['ok']}"
+        )
+    if not clone_ranked:
+        raise SystemExit("FAIL: mid-run mutation not visible after re-sync")
+    print("PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""CI smoke for the resident discovery server (``python -m repro serve``).
+
+Starts the server as a real subprocess on an ephemeral port, discovers the
+bound address from the ``SERVING http://host:port`` readiness line, and then:
+
+1. checks ``/v1/health``,
+2. issues an HTTP search and asserts parity with ``python -m repro search
+   --json`` for the same benchmark query (canonical serializations —
+   volatile ``timings`` stripped — must be bit-identical),
+3. reads ``/v1/metrics`` and checks the served counter,
+4. sends SIGTERM and requires a clean exit code 0.
+
+Run from the repo root::
+
+    python scripts/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.api.schema import canonical_result_payload, dump_result  # noqa: E402
+
+#: CLI arguments that pin both processes to the same deterministic lake.
+BENCH_ARGS = ["--benchmark", "ugen", "--num-queries", "2", "--seed", "3"]
+K = 4
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}")
+    return 1
+
+
+def _wait_for_ready(proc: subprocess.Popen) -> str | None:
+    """Read the subprocess's stdout until the readiness line appears."""
+    assert proc.stdout is not None
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            return None  # the server died before binding
+        print(f"serve: {line.rstrip()}")
+        if line.startswith("SERVING "):
+            return line.split(None, 1)[1].strip()
+
+
+def main() -> int:
+    env = {**os.environ, "PYTHONPATH": str(SRC)}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *BENCH_ARGS],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        cwd=ROOT,
+        text=True,
+    )
+    try:
+        url = _wait_for_ready(proc)
+        if url is None:
+            return _fail(f"server exited (code {proc.poll()}) before binding")
+        print(f"server ready at {url}")
+
+        health = json.load(urllib.request.urlopen(url + "/v1/health"))
+        if health.get("status") != "ok":
+            return _fail(f"/v1/health returned {health}")
+
+        request = urllib.request.Request(
+            url + "/v1/search",
+            data=json.dumps({"query_index": 0, "k": K}).encode(),
+            method="POST",
+        )
+        wire_body = urllib.request.urlopen(request).read()
+        cli = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "search",
+                *BENCH_ARGS,
+                "--query",
+                "0",
+                "--k",
+                str(K),
+                "--json",
+            ],
+            env=env,
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        wire = dump_result(canonical_result_payload(json.loads(wire_body)))
+        direct = dump_result(canonical_result_payload(json.loads(cli.stdout)))
+        if wire != direct:
+            return _fail("wire response and CLI --json output diverge")
+        print("parity: wire /v1/search == CLI search --json (canonical bytes)")
+
+        metrics = json.load(urllib.request.urlopen(url + "/v1/metrics"))
+        counters = metrics["counters"]
+        if counters["served"] != 1 or counters["errors"] != 0:
+            return _fail(f"unexpected counters {counters}")
+        print(f"metrics: {counters}")
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            return _fail("server did not exit within 30s of SIGTERM")
+        # Surface whatever the server printed while shutting down.
+        if proc.stdout is not None:
+            tail = proc.stdout.read()
+            if tail:
+                print(f"serve: {tail.rstrip()}")
+
+    if code != 0:
+        return _fail(f"server exited with code {code} after SIGTERM")
+    print("PASS: clean SIGTERM shutdown (exit 0)")
+    return 0
+
+
+if __name__ == "__main__":
+    # Give the whole smoke a hard ceiling so a wedged server cannot hang CI.
+    signal.signal(signal.SIGALRM, lambda *_: sys.exit("FAIL: smoke timed out"))
+    signal.alarm(270)
+    sys.exit(main())

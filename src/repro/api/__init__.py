@@ -11,8 +11,11 @@ One front door to the whole reproduction:
 * :mod:`repro.api.facade` — the :class:`Discovery` facade plus the fluent
   query builder: ``Discovery.from_config(cfg).attach(lake)`` then
   ``d.query(table).k(10).backend("starmie").run()``.
+* :mod:`repro.api.schema` — the versioned result payload
+  (``RESULT_SCHEMA_VERSION``) shared byte-for-byte by ``ResultSet.to_json``,
+  the ``search`` CLI and the resident server's ``/v1/search`` wire response.
 * :mod:`repro.api.cli` — the ``python -m repro`` / ``dust`` command line
-  (``search``, ``diversify``, ``evaluate``, ``warm``, ``info``).
+  (``search``, ``diversify``, ``evaluate``, ``warm``, ``serve``, ``info``).
 
 Only the registry is imported eagerly; the facade and config modules load on
 first attribute access so that implementation modules can register themselves
@@ -61,6 +64,10 @@ __all__ = [
     "DiscoveryQuery",
     "ResultSet",
     "build_benchmark",
+    "RESULT_SCHEMA_VERSION",
+    "dump_result",
+    "validate_result_payload",
+    "canonical_result_payload",
 ]
 
 #: Attributes served lazily (PEP 562) so that ``repro.api`` can be imported
@@ -73,6 +80,10 @@ _LAZY_ATTRIBUTES = {
     "DiscoveryQuery": "repro.api.facade",
     "ResultSet": "repro.api.facade",
     "build_benchmark": "repro.api.facade",
+    "RESULT_SCHEMA_VERSION": "repro.api.schema",
+    "dump_result": "repro.api.schema",
+    "validate_result_payload": "repro.api.schema",
+    "canonical_result_payload": "repro.api.schema",
 }
 
 

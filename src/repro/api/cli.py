@@ -10,14 +10,19 @@ file, defaults otherwise)::
     dust evaluate  --benchmark ugen --k 10
     dust warm      --store .cache/index-store --benchmark ugen --backends overlap d3l
     dust warm      --store .cache/index-store --benchmark ugen --shards 4 --workers 4
+    dust serve     --config cfg.json --benchmark ugen --port 0 --event-log events.jsonl
 
-``search`` prints one :class:`~repro.api.facade.ResultSet` as JSON;
-``diversify``/``evaluate`` print diversity scores of the registered
-diversification methods; ``warm`` pre-builds and persists search indexes
-(the CI bench-smoke job runs it twice to prove the store's load path).  With
-``--shards N`` the lake is partitioned, the shard indexes are built in
-parallel worker processes and persisted per shard, and the merged whole-lake
-entry is persisted too.
+``search`` prints one :class:`~repro.api.facade.ResultSet` as the versioned
+result payload of :mod:`repro.api.schema` (``--json`` guarantees nothing else
+reaches stdout); ``diversify``/``evaluate`` print diversity scores of the
+registered diversification methods; ``warm`` pre-builds and persists search
+indexes (the CI bench-smoke job runs it twice to prove the store's load
+path); ``serve`` runs the resident discovery server
+(:class:`~repro.serving.server.DiscoveryServer`) until SIGTERM.  ``search``,
+``warm`` and ``serve`` share one config-override flag set
+(:func:`config_override_parent`): with ``--shards N`` the lake is
+partitioned, the shard indexes are built in parallel worker processes and
+persisted per shard, and the merged whole-lake entry is persisted too.
 """
 
 from __future__ import annotations
@@ -86,6 +91,39 @@ def _add_cascade_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="override sharding.num_shards: partition the lake into N shards, "
+        "build the shard indexes in parallel and serve by fan-out/merge "
+        "(default: config value or 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override sharding.build_workers: worker processes for parallel "
+        "shard builds (default: config value or auto)",
+    )
+
+
+def config_override_parent() -> argparse.ArgumentParser:
+    """The one shared config-override flag set of ``search``/``warm``/``serve``.
+
+    Every subcommand that builds a deployment inherits this parent, so the
+    identical ``--config``/``--cascade-*``/``--shards``/``--workers`` flags
+    mean the identical thing everywhere — :func:`_load_config` folds them
+    into the :class:`DiscoveryConfig` in one place.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    _add_config_option(parent)
+    _add_cascade_options(parent)
+    _add_sharding_options(parent)
+    return parent
+
+
 def _cascade_overrides(args: argparse.Namespace) -> dict:
     overrides: dict = {}
     if getattr(args, "cascade_mode", None) is not None:
@@ -97,15 +135,28 @@ def _cascade_overrides(args: argparse.Namespace) -> dict:
     return overrides
 
 
+def _sharding_overrides(args: argparse.Namespace) -> dict:
+    overrides: dict = {}
+    if getattr(args, "shards", None) is not None:
+        overrides["num_shards"] = args.shards
+    if getattr(args, "workers", None) is not None:
+        overrides["build_workers"] = args.workers
+    return overrides
+
+
 def _load_config(args: argparse.Namespace) -> DiscoveryConfig:
     if getattr(args, "config", None):
         config = DiscoveryConfig.from_file(args.config)
     else:
         config = DiscoveryConfig()
-    overrides = _cascade_overrides(args)
-    if overrides:
+    cascade = _cascade_overrides(args)
+    sharding = _sharding_overrides(args)
+    if cascade or sharding:
         payload = config.to_dict()
-        payload["cascade"] = {**(payload.get("cascade") or {}), **overrides}
+        if cascade:
+            payload["cascade"] = {**(payload.get("cascade") or {}), **cascade}
+        if sharding:
+            payload["sharding"] = {**(payload.get("sharding") or {}), **sharding}
         config = DiscoveryConfig.from_dict(payload)
     return config
 
@@ -116,6 +167,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="DUST diverse unionable tuple search (python -m repro).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    # search/warm/serve share one config-override flag set (see
+    # config_override_parent); tests assert the three stay identical.
+    overrides = config_override_parent()
 
     info = subparsers.add_parser(
         "info", help="show version, registered components and the active config"
@@ -124,9 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     search = subparsers.add_parser(
-        "search", help="run Algorithm 1 end to end on a generated benchmark lake"
+        "search",
+        parents=[overrides],
+        help="run Algorithm 1 end to end on a generated benchmark lake",
     )
-    _add_config_option(search)
     _add_benchmark_options(search)
     search.add_argument("--query", type=int, default=0, help="query table index")
     search.add_argument("--k", type=int, default=None, help="override the config's k")
@@ -137,7 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--output", metavar="FILE", default=None, help="write the result JSON here"
     )
-    _add_cascade_options(search)
+    search.add_argument(
+        "--json",
+        action="store_true",
+        help="print exactly the versioned result payload (result schema v1, "
+        "byte-identical to the server's /v1/search response body) and "
+        "nothing else on stdout",
+    )
     search.add_argument(
         "--profile",
         action="store_true",
@@ -167,7 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     warm = subparsers.add_parser(
-        "warm", help="pre-build and persist search indexes for a benchmark lake"
+        "warm",
+        parents=[overrides],
+        help="pre-build and persist search indexes for a benchmark lake",
     )
     _add_benchmark_options(warm)
     warm.add_argument(
@@ -182,21 +245,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=["overlap", "d3l", "santos"],
         help="search backends to warm (default: %(default)s)",
     )
-    warm.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help="partition the lake into N shards and build them in parallel; "
-        "persists one store entry per shard plus the merged whole-lake "
-        "entry (default: %(default)s)",
+
+    serve = subparsers.add_parser(
+        "serve",
+        parents=[overrides],
+        help="run the resident discovery server over a benchmark lake "
+        "(versioned HTTP/JSON API with background maintenance)",
     )
-    warm.add_argument(
-        "--workers",
+    _add_benchmark_options(serve)
+    serve.add_argument(
+        "--host", default=None, help="bind address (default: config or 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
         type=int,
         default=None,
-        help="worker processes for parallel shard builds (default: auto)",
+        help="bind port, 0 for ephemeral (default: config or 8765)",
     )
-    _add_cascade_options(warm)
+    serve.add_argument(
+        "--event-log",
+        metavar="JSONL_FILE",
+        default=None,
+        help="append one JSON event per served/rejected query to this file",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission-control bound on concurrent searches "
+        "(default: config or 4)",
+    )
+    serve.add_argument(
+        "--no-maintenance",
+        action="store_true",
+        help="disable the background maintenance thread (re-sync/pre-warm/"
+        "evict still available on demand via POST /v1/refresh)",
+    )
     return parser
 
 
@@ -239,22 +323,27 @@ def _cmd_search(args: argparse.Namespace) -> int:
     config = _load_config(args)
     benchmark = build_benchmark(args.benchmark, num_queries=args.num_queries, seed=args.seed)
     query = _query_table(benchmark, args.query)
-    discovery = Discovery.from_config(config).attach(benchmark.lake)
-    fluent = discovery.query(query)
-    if args.k is not None:
-        fluent = fluent.k(args.k)
-    if args.backend is not None:
-        fluent = fluent.backend(args.backend)
-    result = fluent.run()
-    text = result.to_json()
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
-        print(f"wrote {args.output} ({len(result)} selected tuples)")
-    else:
-        print(text)
-    if args.profile:
-        _print_search_profile(discovery, args.backend, result)
+    with Discovery.from_config(config).attach(benchmark.lake) as discovery:
+        fluent = discovery.query(query)
+        if args.k is not None:
+            fluent = fluent.k(args.k)
+        if args.backend is not None:
+            fluent = fluent.backend(args.backend)
+        result = fluent.run()
+        # The versioned result payload (repro.api.schema): the same bytes the
+        # resident server returns from POST /v1/search for this query.
+        text = result.to_json()
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            if args.json:
+                print(text)
+            else:
+                print(f"wrote {args.output} ({len(result)} selected tuples)")
+        else:
+            print(text)
+        if args.profile:
+            _print_search_profile(discovery, args.backend, result)
     return 0
 
 
@@ -385,19 +474,23 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     from repro.serving.store import IndexStore
     from repro.utils.errors import SearchError
 
-    if args.shards < 1:
-        raise ReproError(f"--shards must be >= 1, got {args.shards}")
+    # The shared override parent folds --shards/--workers/--cascade-* into
+    # the config, so warm honours a --config file exactly like search/serve.
+    config = _load_config(args)
+    sharding = config.sharding or {}
+    num_shards = sharding.get("num_shards", 1)
+    workers = sharding.get("build_workers")
+    cascade = dict(config.cascade) if config.cascade is not None else {}
     benchmark = build_benchmark(args.benchmark, num_queries=args.num_queries, seed=args.seed)
     lake = benchmark.lake
     store = IndexStore(args.store)
-    sharded = args.shards > 1
-    cascade = _cascade_overrides(args)
+    sharded = num_shards > 1
     print(
         f"warming {len(args.backends)} backend(s) over {args.benchmark!r} "
         f"({lake.num_tables} tables, {lake.num_rows} rows), "
         f"store={store.root}"
-        + (f", shards={args.shards}, workers={args.workers or 'auto'}" if sharded else "")
-        + (f", cascade={cascade.get('mode', 'approx')}" if cascade else "")
+        + (f", shards={num_shards}, workers={workers or 'auto'}" if sharded else "")
+        + (f", cascade={cascade['mode']}" if cascade else "")
     )
     for backend in args.backends:
         if backend == "oracle":
@@ -415,8 +508,8 @@ def _cmd_warm(args: argparse.Namespace) -> int:
             build_sharded(
                 searcher,
                 lake,
-                num_shards=args.shards,
-                workers=args.workers,
+                num_shards=num_shards,
+                workers=workers,
                 store=store,
             )
             if cascade:
@@ -440,12 +533,31 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.server import DiscoveryServer, run_server
+
+    config = _load_config(args)
+    benchmark = build_benchmark(args.benchmark, num_queries=args.num_queries, seed=args.seed)
+    server = DiscoveryServer.from_config(
+        config,
+        benchmark.lake,
+        queries=benchmark.query_tables,
+        host=args.host,
+        port=args.port,
+        event_log=args.event_log,
+        max_inflight=args.max_inflight,
+        maintenance=False if args.no_maintenance else None,
+    )
+    return run_server(server)
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "search": _cmd_search,
     "diversify": _cmd_diversify,
     "evaluate": _cmd_evaluate,
     "warm": _cmd_warm,
+    "serve": _cmd_serve,
 }
 
 

@@ -80,6 +80,18 @@ _CASCADE_DEFAULTS: dict[str, Any] = {
     "num_bands": 16,
     "seed": 7,
 }
+_SERVER_DEFAULTS: dict[str, Any] = {
+    "host": "127.0.0.1",
+    "port": 8765,
+    "max_inflight": 4,
+    "queue_timeout_seconds": 1.0,
+    "retry_after_seconds": 1.0,
+    "event_log": None,
+    "maintenance": True,
+    "maintenance_interval_seconds": 1.0,
+    "maintenance_idle_seconds": 0.5,
+    "prewarm_queries": 8,
+}
 
 
 @dataclass(frozen=True)
@@ -236,6 +248,48 @@ def _validate_cascade(cascade: Mapping[str, Any]) -> None:
         )
 
 
+def _validate_server(server: Mapping[str, Any]) -> None:
+    """Eagerly apply the DiscoveryServer value constraints."""
+    port = server["port"]
+    if not isinstance(port, int) or not 0 <= port <= 65535:
+        raise ConfigurationError(
+            f"server.port must be an integer in [0, 65535] (0 = ephemeral), "
+            f"got {port!r}"
+        )
+    if not isinstance(server["host"], str) or not server["host"]:
+        raise ConfigurationError(
+            f"server.host must be a non-empty string, got {server['host']!r}"
+        )
+    max_inflight = server["max_inflight"]
+    if not isinstance(max_inflight, int) or max_inflight < 1:
+        raise ConfigurationError(
+            f"server.max_inflight must be a positive integer, got {max_inflight!r}"
+        )
+    for key in (
+        "queue_timeout_seconds",
+        "retry_after_seconds",
+        "maintenance_interval_seconds",
+        "maintenance_idle_seconds",
+    ):
+        if server[key] < 0:
+            raise ConfigurationError(
+                f"server.{key} must be non-negative, got {server[key]}"
+            )
+    if server["event_log"] is not None and not isinstance(server["event_log"], str):
+        raise ConfigurationError(
+            f"server.event_log must be a path string or null, got {server['event_log']!r}"
+        )
+    if not isinstance(server["maintenance"], bool):
+        raise ConfigurationError(
+            f"server.maintenance must be a boolean, got {server['maintenance']!r}"
+        )
+    prewarm = server["prewarm_queries"]
+    if not isinstance(prewarm, int) or prewarm < 0:
+        raise ConfigurationError(
+            f"server.prewarm_queries must be a non-negative integer, got {prewarm!r}"
+        )
+
+
 def _checked_section(
     section: str, payload: Mapping[str, Any], allowed: tuple[str, ...]
 ) -> dict[str, Any]:
@@ -285,6 +339,15 @@ class DiscoveryConfig:
     #: prefilter, narrow exact scoring, ambiguity-triggered escalation.
     #: ``mode: "exact"`` keeps rankings bit-identical to the bare backend.
     cascade: dict[str, Any] | None = None
+    #: Optional resident-server section: ``{"host": ..., "port": ...,
+    #: "max_inflight": 4, "queue_timeout_seconds": 1.0, ...}`` consumed by
+    #: ``python -m repro serve`` /
+    #: :class:`~repro.serving.server.DiscoveryServer`.  Deliberately
+    #: **fingerprint-neutral**: where a deployment listens and how it
+    #: admission-controls traffic never changes what its indexes contain, so
+    #: two configs differing only here share :meth:`fingerprint` — and hence
+    #: persisted index entries and cached results.
+    server: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         for section, registry in _COMPONENT_SECTIONS.items():
@@ -321,6 +384,11 @@ class DiscoveryConfig:
             self.cascade = {**_CASCADE_DEFAULTS, **cascade}
             _validate_cascade(self.cascade)
 
+        if self.server is not None:
+            server = _checked_section("server", self.server, tuple(_SERVER_DEFAULTS))
+            self.server = {**_SERVER_DEFAULTS, **server}
+            _validate_server(self.server)
+
     # -------------------------------------------------------------- resolution
     def pipeline_config(self) -> PipelineConfig:
         """The validated :class:`~repro.core.config.PipelineConfig` this names."""
@@ -351,7 +419,7 @@ class DiscoveryConfig:
                 kwargs[section] = ComponentSpec.from_value(
                     payload[section], section=section
                 )
-        for section in ("pipeline", "dust", "serving", "sharding", "cascade"):
+        for section in ("pipeline", "dust", "serving", "sharding", "cascade", "server"):
             if section in payload:
                 kwargs[section] = payload[section]
         return cls(**kwargs)
@@ -370,6 +438,8 @@ class DiscoveryConfig:
             payload["sharding"] = dict(self.sharding)
         if self.cascade is not None:
             payload["cascade"] = dict(self.cascade)
+        if self.server is not None:
+            payload["server"] = dict(self.server)
         return payload
 
     @classmethod
@@ -401,7 +471,12 @@ class DiscoveryConfig:
 
         Two configs with the same fingerprint build component-for-component
         identical deployments — and therefore address the same entries of a
-        persistent index store.
+        persistent index store.  The ``server`` section is excluded: a
+        deployment's listen address and admission limits are operational
+        knobs, not index content, so moving a server to another port must
+        not orphan its persisted indexes or cached results.
         """
-        payload = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        content = self.to_dict()
+        content.pop("server", None)
+        payload = json.dumps(content, sort_keys=True, default=str)
         return hashlib.sha256(payload.encode()).hexdigest()

@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.api.config import ComponentSpec, DiscoveryConfig
+from repro.api.schema import RESULT_SCHEMA_VERSION, dump_result
 from repro.api.registry import (
     BENCHMARKS,
     COLUMN_ENCODERS,
@@ -122,8 +123,17 @@ class ResultSet:
 
     # ---------------------------------------------------------- serialization
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable summary of the run."""
+        """The version-1 result payload of :mod:`repro.api.schema`.
+
+        This is the *specified* result schema: ``schema_version`` names the
+        payload format, ``provenance`` records which config/backend/lake
+        produced it, and ``search_results`` carries one
+        ``{"table", "score", "rank"}`` triple per ranked candidate.  The
+        ``search`` CLI output and the ``/v1/search`` wire response are both
+        :func:`~repro.api.schema.dump_result` serializations of this dict.
+        """
         return {
+            "schema_version": RESULT_SCHEMA_VERSION,
             "query": self.result.query_table_name,
             "provenance": dict(self.provenance),
             "search_results": [
@@ -139,6 +149,8 @@ class ResultSet:
         }
 
     def to_json(self, *, indent: int | None = 2) -> str:
+        if indent == 2:
+            return dump_result(self.to_dict())
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
 
 
@@ -216,6 +228,7 @@ class Discovery:
         #: Backends whose index predates a :meth:`refresh` call; each one
         #: re-synchronises lazily the next time it serves a query.
         self._stale_backends: set[str] = set()
+        self._closed = False
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -273,9 +286,52 @@ class Discovery:
             name = self.config.diversifier.name
         return self._build_diversifier(ComponentSpec(name, params))
 
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "Discovery is closed; build a new facade to serve more queries"
+            )
+
+    def close(self) -> None:
+        """Release every resource this deployment holds.
+
+        Query-service worker state and result caches are dropped, built
+        searchers/pipelines are released, and the index-store handle is
+        detached.  Serving a query (or attaching a lake) afterwards raises
+        :class:`~repro.utils.errors.ConfigurationError`; calling ``close``
+        again is a no-op.  The facade is a context manager, so long-lived
+        callers — the resident server, multi-query ``run_many`` drivers —
+        can scope the deployment with ``with``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for service in self._services.values():
+            service.close()
+        self._services.clear()
+        self._searchers.clear()
+        self._pipelines.clear()
+        self._stale_backends.clear()
+        self._store = None
+        self._lake = None
+
+    def __enter__(self) -> "Discovery":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # ----------------------------------------------------------------- attach
     def attach(self, lake: DataLake) -> "Discovery":
         """Bind a data lake and index the configured default backend."""
+        self._check_open()
         self._lake = lake
         self._searchers.clear()
         self._services.clear()
@@ -300,6 +356,43 @@ class Discovery:
         self._stale_backends.update(self._searchers)
         return self
 
+    def resync(self) -> list[str]:
+        """Eagerly re-synchronise every built backend with the lake's content.
+
+        The eager complement of :meth:`refresh`'s lazy re-sync, for callers
+        that *want* to pay the delta updates now rather than on the next
+        query — the server's background maintenance loop runs this between
+        request bursts so queries never stall on an index update.  Detects
+        drift directly from content fingerprints (no prior :meth:`refresh`
+        call required) and returns the backend names whose indexes actually
+        moved.
+        """
+        self._check_open()
+        lake = self.lake  # raises when not attached
+        moved: list[str] = []
+        for key, searcher in self._searchers.items():
+            service = self._services.get(key)
+            if service is not None:
+                # The service snapshots the fingerprint it last warmed or
+                # refreshed against; the live lake object may have mutated
+                # underneath it since.
+                drifted = service._lake_fingerprint != lake.fingerprint()
+            else:
+                drifted = (
+                    not searcher.is_indexed
+                    or searcher._indexed_table_fps != lake.table_fingerprints()
+                )
+            if drifted or key in self._stale_backends:
+                self._sync_backend(key)
+                moved.append(key)
+        return moved
+
+    def service_stats(self) -> dict[str, dict[str, int]]:
+        """Result-cache hit/miss counters per built query service."""
+        return {
+            key: service.cache_stats for key, service in sorted(self._services.items())
+        }
+
     def _sync_backend(self, key: str) -> None:
         """Apply a pending lake delta to one built backend."""
         service = self._services.get(key)
@@ -308,6 +401,11 @@ class Discovery:
         else:
             self._searchers[key].refresh()
         self._stale_backends.discard(key)
+
+    @property
+    def store(self) -> IndexStore | None:
+        """The deployment's persistent index store (None when not configured)."""
+        return self._store
 
     @property
     def lake(self) -> DataLake:
@@ -372,6 +470,7 @@ class Discovery:
         return searcher
 
     def _ensure_backend(self, backend: str) -> TableUnionSearcher:
+        self._check_open()
         key = self._backend_key(backend)
         searcher = self._searchers.get(key)
         if searcher is not None:

@@ -1,0 +1,105 @@
+"""The versioned query/result wire schema shared by the CLI and the server.
+
+One result payload format, specified once, serialized one way.  A
+:class:`~repro.api.facade.ResultSet` serializes to a plain dict carrying
+``schema_version`` (:data:`RESULT_SCHEMA_VERSION`), run provenance and the
+per-candidate ``table``/``score``/``rank`` triples of the search ranking;
+:func:`dump_result` is the single JSON serializer both the ``search`` CLI
+subcommand and the ``/v1/search`` HTTP endpoint call, so their outputs are
+byte-identical serializations of the same payload.
+
+Two helpers keep consumers honest:
+
+* :func:`validate_result_payload` — structural check of a decoded payload
+  (required keys, version match, ranking triples well-formed).  The server
+  smoke test and the concurrency benchmark run every wire response through
+  it.
+* :func:`canonical_result_payload` — strips the *volatile* fields (wall-clock
+  ``timings``) so two independently computed results for the same query over
+  the same content compare equal.  This is the parity predicate used to
+  assert that wire results are bit-identical to direct facade queries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.utils.errors import ConfigurationError
+
+#: Bump when the shape of :meth:`ResultSet.to_dict` payloads changes
+#: incompatibly.  Consumers reject payloads from a different major version.
+RESULT_SCHEMA_VERSION = 1
+
+#: Keys every version-1 result payload must carry.
+RESULT_REQUIRED_KEYS = (
+    "schema_version",
+    "query",
+    "provenance",
+    "search_results",
+    "num_candidate_tuples",
+    "selections",
+    "selected_rows",
+    "timings",
+)
+
+#: Fields excluded by :func:`canonical_result_payload`: wall-clock values that
+#: legitimately differ between two runs computing identical results.
+VOLATILE_RESULT_KEYS = ("timings",)
+
+
+def dump_result(payload: Mapping[str, Any]) -> str:
+    """Serialize a result payload to its canonical JSON text.
+
+    The one serializer behind ``ResultSet.to_json``, the ``search`` CLI
+    output and the ``/v1/search`` response body — same key order, same
+    indentation, same fallback stringification, byte for byte.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True, default=str)
+
+
+def validate_result_payload(payload: Any) -> dict[str, Any]:
+    """Check that ``payload`` is a well-formed version-1 result payload.
+
+    Returns the payload (as a plain dict) on success and raises
+    :class:`~repro.utils.errors.ConfigurationError` describing the first
+    structural problem otherwise.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"result payload must be a mapping, got {type(payload).__name__}"
+        )
+    missing = [key for key in RESULT_REQUIRED_KEYS if key not in payload]
+    if missing:
+        raise ConfigurationError(f"result payload is missing keys: {missing}")
+    version = payload["schema_version"]
+    if version != RESULT_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"result payload has schema_version {version!r}, "
+            f"this library speaks {RESULT_SCHEMA_VERSION}"
+        )
+    for position, hit in enumerate(payload["search_results"]):
+        if not isinstance(hit, Mapping) or not {"table", "score", "rank"} <= set(hit):
+            raise ConfigurationError(
+                f"search_results[{position}] must carry table/score/rank, got {hit!r}"
+            )
+    if not isinstance(payload["provenance"], Mapping):
+        raise ConfigurationError(
+            f"result payload provenance must be a mapping, got {payload['provenance']!r}"
+        )
+    return dict(payload)
+
+
+def canonical_result_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """The payload minus its volatile fields, for cross-run parity checks.
+
+    Round-trips through JSON so that a payload decoded off the wire and one
+    freshly produced in-process compare equal even where JSON normalises
+    Python types (tuples become lists, non-string keys become strings).
+    """
+    stripped = {
+        key: value
+        for key, value in payload.items()
+        if key not in VOLATILE_RESULT_KEYS
+    }
+    return json.loads(json.dumps(stripped, sort_keys=True, default=str))

@@ -10,7 +10,13 @@ from repro.datalake.table import Column, Row, Table
 from repro.datalake.lake import DataLake
 from repro.datalake.delta import LakeDelta, diff_table_fingerprints
 from repro.datalake.partition import LakePartitioner, LakeShard
-from repro.datalake.io import read_csv, write_csv, table_from_rows
+from repro.datalake.io import (
+    read_csv,
+    table_from_payload,
+    table_from_rows,
+    table_to_payload,
+    write_csv,
+)
 from repro.datalake.profile import ColumnProfile, TableProfile, profile_column, profile_table
 
 __all__ = [
@@ -25,6 +31,8 @@ __all__ = [
     "read_csv",
     "write_csv",
     "table_from_rows",
+    "table_from_payload",
+    "table_to_payload",
     "ColumnProfile",
     "TableProfile",
     "profile_column",

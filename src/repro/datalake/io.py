@@ -41,6 +41,34 @@ def table_from_rows(
     return Table(name=name, columns=list(columns), rows=data)
 
 
+def table_to_payload(table: Table) -> dict[str, Any]:
+    """JSON-serializable wire form of ``table``: name, columns, rows.
+
+    ``metadata`` is deliberately excluded — no index reads it, and the wire
+    protocol transports query *content*, which is exactly what
+    :meth:`~repro.datalake.table.Table.content_fingerprint` covers.
+    """
+    return {
+        "name": table.name,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+    }
+
+
+def table_from_payload(payload: Mapping[str, Any]) -> Table:
+    """Rebuild a :class:`Table` from :func:`table_to_payload` wire form."""
+    if not isinstance(payload, Mapping):
+        raise DataLakeError(f"table payload must be a mapping, got {payload!r}")
+    missing = {"name", "columns", "rows"} - set(payload)
+    if missing:
+        raise DataLakeError(f"table payload is missing keys: {sorted(missing)}")
+    return Table(
+        name=str(payload["name"]),
+        columns=[str(column) for column in payload["columns"]],
+        rows=[tuple(row) for row in payload["rows"]],
+    )
+
+
 def read_csv(path: str | Path, *, name: str | None = None) -> Table:
     """Read a CSV file (header row required) into a :class:`Table`.
 

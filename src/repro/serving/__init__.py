@@ -14,12 +14,31 @@ build-once/serve-many system:
   lake mutation (delta index update + cache invalidation).  Works unchanged
   over a :class:`~repro.search.sharded.ShardedSearcher`, which persists one
   store entry per lake shard and serves queries by fan-out/merge.
-* ``python -m repro.serving.warm`` — compatibility shim over ``dust warm``:
-  pre-builds and stores the indexes of a benchmark lake (used by the CI
-  bench-smoke job).
+* :class:`~repro.serving.server.DiscoveryServer` — the resident server mode
+  (``python -m repro serve``): a versioned HTTP/JSON API over a kept-hot
+  :class:`~repro.api.facade.Discovery` deployment, with admission control,
+  per-query latency events (:class:`~repro.serving.events.EventLog`) and a
+  background :class:`~repro.serving.maintenance.MaintenanceLoop` that
+  re-syncs, pre-warms and evicts between request bursts.
+* ``python -m repro.serving.warm`` — deprecated compatibility shim over
+  ``python -m repro warm``.
 """
 
 from repro.serving.store import IndexStore, STORE_FORMAT_VERSION
 from repro.serving.service import QueryService
+from repro.serving.events import EventLog, latency_summary, read_events
+from repro.serving.maintenance import ActivityGate, MaintenanceLoop
+from repro.serving.server import DiscoveryServer, run_server
 
-__all__ = ["IndexStore", "QueryService", "STORE_FORMAT_VERSION"]
+__all__ = [
+    "IndexStore",
+    "QueryService",
+    "STORE_FORMAT_VERSION",
+    "EventLog",
+    "latency_summary",
+    "read_events",
+    "ActivityGate",
+    "MaintenanceLoop",
+    "DiscoveryServer",
+    "run_server",
+]

@@ -300,6 +300,21 @@ class QueryService:
             for result in self.search(query_table, k)
         ]
 
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the result cache and detach the store handle.
+
+        Worker pools are created per :meth:`search_many` call and already
+        torn down when it returns, so closing is cheap: the LRU is dropped
+        (its cached rankings can pin large result lists), the store handle
+        is detached, and the service refuses further queries by behaving as
+        if it was never warmed.  Double-close is a no-op.
+        """
+        with self._lock:
+            self._cache.clear()
+            self._lake_fingerprint = None
+        self.store = None
+
     # ------------------------------------------------------------------ stats
     @property
     def cache_stats(self) -> dict[str, int]:

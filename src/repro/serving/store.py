@@ -175,6 +175,38 @@ class IndexStore:
         for _, stale in sorted(aged)[:excess] if excess > 0 else []:
             shutil.rmtree(stale, ignore_errors=True)
 
+    def evict_cold(self, max_entries: int | None = None) -> int:
+        """Trim every backend directory to its newest ``max_entries`` entries.
+
+        The maintenance-loop complement of the per-save eviction: a
+        long-lived server accumulates superseded lake-content snapshots
+        (every refresh persists a full entry), and this sweeps *all* backend
+        directories in one pass — including those whose searchers are no
+        longer being saved to at all.  ``max_entries`` defaults to the
+        store's ``max_entries_per_backend``; with both unset the sweep is a
+        no-op (an unbounded store stays unbounded).  Returns the number of
+        entries removed.  Best-effort like :meth:`_evict_superseded`:
+        removal failures are skipped, never raised.
+        """
+        bound = max_entries if max_entries is not None else self.max_entries_per_backend
+        if bound is None or bound < 1 or not self.root.is_dir():
+            return 0
+        removed = 0
+        for backend_dir in sorted(self.root.iterdir()):
+            if not backend_dir.is_dir():
+                continue
+            aged: list[tuple[float, Path]] = []
+            for manifest_path in backend_dir.glob(f"*/{_MANIFEST}"):
+                try:
+                    aged.append((manifest_path.stat().st_mtime, manifest_path.parent))
+                except OSError:
+                    continue
+            # Newest entries survive; mtime ties keep every tied entry.
+            for _, stale in sorted(aged)[: max(0, len(aged) - bound)]:
+                shutil.rmtree(stale, ignore_errors=True)
+                removed += 1
+        return removed
+
     # ------------------------------------------------------------------- load
     def load(
         self, searcher: TableUnionSearcher, lake: DataLake

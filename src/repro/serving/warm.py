@@ -6,9 +6,11 @@ Run as a module::
         --store .cache/index-store --benchmark ugen --seed 3 \
         --backends overlap d3l
 
-This entry point is a compatibility shim: the implementation moved to the
-unified CLI (``python -m repro warm`` / ``dust warm``), which resolves
-backends and benchmarks through the :mod:`repro.api.registry` registries.
+This entry point is a **deprecated** compatibility shim: the implementation
+moved to the unified CLI (``python -m repro warm`` / ``dust warm``), which
+resolves backends and benchmarks through the :mod:`repro.api.registry`
+registries.  Invoking it emits a :class:`DeprecationWarning` and forwards
+the arguments unchanged.
 Every requested backend is warmed through
 :meth:`~repro.serving.store.IndexStore.load_or_build`: an existing valid
 entry is a fast no-op, a lake whose content drifted from a persisted snapshot
@@ -19,12 +21,19 @@ and persisted.
 from __future__ import annotations
 
 import sys
+import warnings
 from typing import Sequence
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     from repro.api.cli import main as cli_main
 
+    warnings.warn(
+        "python -m repro.serving.warm is deprecated; use `python -m repro warm` "
+        "(the arguments are identical)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     return cli_main(["warm", *argv])
 

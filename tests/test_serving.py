@@ -21,8 +21,8 @@ from repro.search import (
     StarmieSearcher,
     ValueOverlapSearcher,
 )
+from repro.api.cli import main as cli_main
 from repro.serving import IndexStore, QueryService
-from repro.serving.warm import main as warm_main
 from repro.utils.errors import (
     ConfigurationError,
     IndexStoreMiss,
@@ -464,14 +464,14 @@ class TestWarmCLI:
             "--seed",
             "9",
         ]
-        assert warm_main(argv) == 0
+        assert cli_main(["warm", *argv]) == 0
         out = capsys.readouterr().out
         assert out.count("built") == 2
         # Entries exist on disk with manifests.
         manifests = list(store_dir.rglob("manifest.json"))
         assert len(manifests) == 2
         # Second invocation is served from the store.
-        assert warm_main(argv) == 0
+        assert cli_main(["warm", *argv]) == 0
         out = capsys.readouterr().out
         assert out.count("loaded") == 2
 
