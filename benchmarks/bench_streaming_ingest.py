@@ -1,0 +1,302 @@
+"""Sustained streaming ingestion against a live discovery deployment.
+
+Drives ≥5× the journal window (:data:`repro.datalake.lake.MAX_JOURNAL_ENTRIES`)
+of table add/replace/remove events through the :mod:`repro.ingest` chain —
+netting queue, bounded micro-batches, per-batch index re-sync, journal
+compaction checkpoints — with queries interleaved between batches, and checks
+the three properties the subsystem promises:
+
+* **Convergence** — after the full stream, every backend's rankings are
+  **bit-identical** to a from-scratch rebuild of the same backend on a copy
+  of the final lake;
+* **No full-rebuild floor** — a deliberately slow ``changes_since`` consumer
+  that re-anchors only every few batches is always served a delta (the
+  journal path inside the window, a compaction checkpoint beyond it), never
+  ``None``;
+* **Sustained throughput** — mutations/sec over the whole stream and the
+  p50/p95 latency of the interleaved index queries are reported to
+  ``BENCH_ingest.json`` at the repo root.
+
+``--smoke`` shrinks the journal window (monkeypatching
+``MAX_JOURNAL_ENTRIES``) and the lake so the CI bench-smoke job exercises
+the same ≥5×-window compaction scenario in seconds; correctness always
+gates, timing never does.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_ingest.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+import repro.datalake.lake as lake_module
+from repro.api.facade import Discovery
+from repro.benchgen import generate_ugen_benchmark
+from repro.datalake import DataLake, Table
+from repro.ingest.events import TableEvent
+
+#: Top-k retrieved per interleaved query and in the final parity assertion.
+K = 10
+#: Interleaved-query cadence: one query per this many submitted events.
+QUERY_INTERVAL = 64
+
+
+def copy_lake(lake: DataLake) -> DataLake:
+    """An independent copy safe to mutate (rows are immutable tuples)."""
+    return DataLake((table.copy() for table in lake), name=lake.name)
+
+
+def stream_table(name: str, generation: int, rng: random.Random) -> Table:
+    rows = [
+        (f"{name}_e{generation}_{row}", str(rng.randrange(10_000)))
+        for row in range(6)
+    ]
+    return Table(name=name, columns=["entity", "measure"], rows=rows)
+
+
+def make_events(total: int, seed: int) -> list[TableEvent]:
+    """A deterministic add/replace/remove stream over a churn namespace.
+
+    Roughly 40% adds, 40% replaces, 20% removes; removes and replaces only
+    ever target previously-added stream tables, so the benchmark lake's own
+    tables survive and the interleaved queries stay meaningful.
+    """
+    rng = random.Random(seed)
+    live: list[str] = []
+    generation = 0
+    events: list[TableEvent] = []
+    for index in range(total):
+        generation += 1
+        roll = rng.random()
+        if live and roll < 0.2:
+            name = live.pop(rng.randrange(len(live)))
+            events.append(TableEvent(op="remove", name=name))
+        elif live and roll < 0.6:
+            name = rng.choice(live)
+            events.append(
+                TableEvent(
+                    op="replace", name=name, table=stream_table(name, generation, rng)
+                )
+            )
+        else:
+            name = f"stream_{index:06d}"
+            live.append(name)
+            events.append(
+                TableEvent(
+                    op="add", name=name, table=stream_table(name, generation, rng)
+                )
+            )
+    return events
+
+
+def rankings(searcher, queries):
+    return [
+        [(hit.table_name, hit.score) for hit in searcher.search(query, K)]
+        for query in queries
+    ]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the journal window and lake (CI bench-smoke mode); "
+        "convergence and re-anchoring still gate",
+    )
+    parser.add_argument("--backends", nargs="+", default=["overlap", "d3l"])
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_ingest.json"),
+        help="where to write the machine-readable results (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        # Same ≥5×-window compaction scenario, scaled to run in seconds.
+        lake_module.MAX_JOURNAL_ENTRIES = 32
+        benchmark = generate_ugen_benchmark(
+            num_queries=2, unionable_per_query=3, non_unionable_per_query=3,
+            rows_per_table=8, seed=args.seed,
+        )
+        ingest_config = {
+            "max_batch_events": 16,
+            "max_batch_bytes": 1 << 20,
+            # The bench drives flushes by the count bound alone so batch
+            # sizes (and therefore the slow consumer's version lag) are
+            # deterministic; production leaves the latency bound on.
+            "max_latency_seconds": 3600.0,
+        }
+        reanchor_every = 4
+    else:
+        benchmark = generate_ugen_benchmark(num_queries=3, seed=args.seed)
+        ingest_config = {
+            "max_batch_events": 256,
+            "max_batch_bytes": 1 << 20,
+            "max_latency_seconds": 3600.0,
+        }
+        # 15 batches is the widest lag whose anchor checkpoint is still
+        # retained by the lake's bounded checkpoint ring; at 256 events per
+        # batch it is comfortably past the 4096-entry journal window.
+        reanchor_every = 15
+    window = lake_module.MAX_JOURNAL_ENTRIES
+    total_events = 5 * window
+    events = make_events(total_events, args.seed)
+    queries = benchmark.query_tables
+
+    config = {"ingest": ingest_config}
+    lake = copy_lake(benchmark.lake)
+    with Discovery.from_config(config).attach(lake) as discovery:
+        for backend in args.backends:
+            discovery.searcher(backend)  # build now; re-synced per batch
+        controller = discovery.ingest()
+
+        print(
+            f"streaming {total_events} events (5x journal window of {window}) "
+            f"into {lake.num_tables}-table lake, backends={args.backends}, "
+            f"batch bounds={ingest_config['max_batch_events']} events / "
+            f"{ingest_config['max_batch_bytes']} bytes"
+        )
+
+        # The slow consumer: anchored at a compaction checkpoint, re-anchors
+        # only every `reanchor_every` applied batches — late enough that its
+        # anchor falls behind the journal floor and must be served from a
+        # compaction checkpoint, never a full-rebuild None.
+        anchor = lake.checkpoint()
+        batches_since_anchor = 0
+        reanchors = 0
+        checkpoint_fallbacks = 0
+        floor_hits = 0
+        query_seconds: list[float] = []
+        query_round = 0
+
+        wall_start = time.perf_counter()
+        for index, event in enumerate(events):
+            controller.submit(event)
+            reports = controller.flush_if_due()
+            batches_since_anchor += len(reports)
+            if reports and batches_since_anchor >= reanchor_every:
+                behind_floor = anchor < lake.journal_floor
+                delta = lake.changes_since(anchor)
+                if delta is None:
+                    floor_hits += 1
+                else:
+                    reanchors += 1
+                    if behind_floor:
+                        checkpoint_fallbacks += 1
+                    anchor = reports[-1]["checkpoint_version"]
+                    batches_since_anchor = 0
+            if (index + 1) % QUERY_INTERVAL == 0:
+                backend = args.backends[query_round % len(args.backends)]
+                query = queries[query_round % len(queries)]
+                query_round += 1
+                start = time.perf_counter()
+                discovery.searcher(backend).search(query, K)
+                query_seconds.append(time.perf_counter() - start)
+        final_reports = controller.flush()
+        wall_seconds = time.perf_counter() - wall_start
+
+        stats = controller.stats
+        ingest_seconds = wall_seconds - sum(query_seconds)
+        mutations_per_sec = total_events / ingest_seconds if ingest_seconds > 0 else 0.0
+        sorted_q = sorted(query_seconds)
+        p50 = sorted_q[len(sorted_q) // 2] if sorted_q else 0.0
+        p95 = sorted_q[int(len(sorted_q) * 0.95)] if sorted_q else 0.0
+
+        print(
+            f"applied {stats['batches_applied']} batches "
+            f"({stats['events_applied']} events after netting; received "
+            f"{stats['received']}, noops {stats['noops_dropped']}, cancelled "
+            f"{stats['cancelled']}, superseded {stats['superseded']})"
+        )
+        print(
+            f"journal: depth={lake.journal_depth} floor={lake.journal_floor} "
+            f"dropped={lake.journal_dropped} "
+            f"checkpoints={len(lake.checkpoint_versions)}"
+        )
+        print(
+            f"slow consumer: {reanchors} re-anchors, "
+            f"{checkpoint_fallbacks} served from compaction checkpoints, "
+            f"{floor_hits} full-rebuild floors"
+        )
+        print(
+            f"throughput: {mutations_per_sec:,.0f} mutations/s "
+            f"({ingest_seconds:.2f}s ingest wall); interleaved queries: "
+            f"{len(query_seconds)} runs p50={p50 * 1000:.1f}ms "
+            f"p95={p95 * 1000:.1f}ms"
+        )
+
+        # Convergence: every backend bit-identical to a from-scratch rebuild
+        # of the same deployment config on a copy of the final lake.
+        parity: dict[str, bool] = {}
+        with Discovery.from_config(config).attach(copy_lake(lake)) as fresh:
+            for backend in args.backends:
+                maintained = rankings(discovery.searcher(backend), queries)
+                rebuilt = rankings(fresh.searcher(backend), queries)
+                parity[backend] = maintained == rebuilt
+
+    results = {
+        "smoke": bool(args.smoke),
+        "seed": args.seed,
+        "backends": args.backends,
+        "journal_window": window,
+        "total_events": total_events,
+        "batch_bounds": ingest_config,
+        "mutations_per_sec": mutations_per_sec,
+        "ingest_wall_seconds": ingest_seconds,
+        "interleaved_queries": {
+            "count": len(query_seconds),
+            "p50_seconds": p50,
+            "p95_seconds": p95,
+        },
+        "netting": {
+            key: stats[key]
+            for key in ("received", "noops_dropped", "cancelled", "superseded",
+                        "deduped", "drained")
+        },
+        "batches_applied": stats["batches_applied"],
+        "events_applied": stats["events_applied"],
+        "final_flush_batches": len(final_reports),
+        "journal": {
+            "depth": lake.journal_depth,
+            "floor": lake.journal_floor,
+            "dropped": lake.journal_dropped,
+            "checkpoints": lake.checkpoint_versions,
+        },
+        "slow_consumer": {
+            "reanchors": reanchors,
+            "checkpoint_fallbacks": checkpoint_fallbacks,
+            "full_rebuild_floors": floor_hits,
+        },
+        "rebuild_parity": parity,
+    }
+    Path(args.output).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    if floor_hits:
+        raise SystemExit(
+            f"FAIL: slow consumer hit the full-rebuild floor {floor_hits} time(s)"
+        )
+    if not checkpoint_fallbacks:
+        raise SystemExit(
+            "FAIL: the stream never exercised the compaction-checkpoint "
+            "fallback — widen the consumer lag or shrink the journal window"
+        )
+    mismatched = [backend for backend, ok in parity.items() if not ok]
+    if mismatched:
+        raise SystemExit(
+            f"FAIL: post-stream rankings diverged from a from-scratch rebuild "
+            f"for {mismatched}"
+        )
+    print("PASS: converged bit-identically; no consumer hit the rebuild floor")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,11 @@ bound address from the ``SERVING http://host:port`` readiness line, and then:
    --json`` for the same benchmark query (canonical serializations —
    volatile ``timings`` stripped — must be bit-identical),
 3. reads ``/v1/metrics`` and checks the served counter,
-4. sends SIGTERM and requires a clean exit code 0.
+4. round-trips streaming ingestion: ``python -m repro ingest`` pipes a
+   JSONL add through ``POST /v1/ingest``, a follow-up query finds the
+   ingested table, and ``/v1/metrics`` reports the applied batch in its
+   ``lake``/``ingest`` blocks,
+5. sends SIGTERM and requires a clean exit code 0.
 
 Run from the repo root::
 
@@ -32,6 +36,7 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 from repro.api.schema import canonical_result_payload, dump_result  # noqa: E402
+from repro.benchgen import generate_ugen_benchmark  # noqa: E402
 
 #: CLI arguments that pin both processes to the same deterministic lake.
 BENCH_ARGS = ["--benchmark", "ugen", "--num-queries", "2", "--seed", "3"]
@@ -111,6 +116,59 @@ def main() -> int:
         if counters["served"] != 1 or counters["errors"] != 0:
             return _fail(f"unexpected counters {counters}")
         print(f"metrics: {counters}")
+
+        # Streaming ingest round-trip: CLI -> POST /v1/ingest -> query.  The
+        # streamed table clones benchmark query 0's content, so re-running
+        # that query must now surface it (identical content, top overlap).
+        version_before = metrics["lake"]["version"]
+        benchmark = generate_ugen_benchmark(num_queries=2, seed=3)
+        query = benchmark.query_tables[0]
+        streamed = {
+            "name": "smoke_stream",
+            "columns": list(query.columns),
+            "rows": [list(row) for row in query.rows],
+        }
+        events_path = ROOT / ".cache" / "smoke_ingest.jsonl"
+        events_path.parent.mkdir(exist_ok=True)
+        events_path.write_text(
+            json.dumps({"op": "add", "name": "smoke_stream", "table": streamed})
+            + "\n"
+        )
+        try:
+            ingest = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "ingest",
+                    "--url", url, "--events", str(events_path),
+                ],
+                env=env,
+                cwd=ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        finally:
+            events_path.unlink(missing_ok=True)
+        print(f"ingest: {ingest.stdout.strip()}")
+        if "1 micro-batch(es) applied" not in ingest.stdout:
+            return _fail(f"ingest CLI did not apply a batch: {ingest.stdout!r}")
+        request = urllib.request.Request(
+            url + "/v1/search",
+            data=json.dumps({"query_index": 0, "k": K}).encode(),
+            method="POST",
+        )
+        hits = json.loads(urllib.request.urlopen(request).read())
+        hit_tables = {hit["table"] for hit in hits["search_results"]}
+        if "smoke_stream" not in hit_tables:
+            return _fail(f"ingested table not served back, got {hit_tables}")
+        metrics = json.load(urllib.request.urlopen(url + "/v1/metrics"))
+        if metrics["lake"]["version"] <= version_before:
+            return _fail(f"lake version did not advance: {metrics['lake']}")
+        if metrics["ingest"]["batches_applied"] < 1:
+            return _fail(f"ingest stats missing the batch: {metrics['ingest']}")
+        print(
+            "ingest round-trip: CLI JSONL -> /v1/ingest -> searchable "
+            f"(lake version {version_before} -> {metrics['lake']['version']})"
+        )
     finally:
         if proc.poll() is None:
             proc.send_signal(signal.SIGTERM)

@@ -11,6 +11,7 @@ file, defaults otherwise)::
     dust warm      --store .cache/index-store --benchmark ugen --backends overlap d3l
     dust warm      --store .cache/index-store --benchmark ugen --shards 4 --workers 4
     dust serve     --config cfg.json --benchmark ugen --port 0 --event-log events.jsonl
+    dust ingest    --url http://127.0.0.1:8765 --events stream.jsonl
 
 ``search`` prints one :class:`~repro.api.facade.ResultSet` as the versioned
 result payload of :mod:`repro.api.schema` (``--json`` guarantees nothing else
@@ -18,7 +19,9 @@ reaches stdout); ``diversify``/``evaluate`` print diversity scores of the
 registered diversification methods; ``warm`` pre-builds and persists search
 indexes (the CI bench-smoke job runs it twice to prove the store's load
 path); ``serve`` runs the resident discovery server
-(:class:`~repro.serving.server.DiscoveryServer`) until SIGTERM.  ``search``,
+(:class:`~repro.serving.server.DiscoveryServer`) until SIGTERM; ``ingest``
+streams JSONL table mutation events into a running server's
+``POST /v1/ingest`` in bounded chunks.  ``search``,
 ``warm`` and ``serve`` share one config-override flag set
 (:func:`config_override_parent`): with ``--shards N`` the lake is
 partitioned, the shard indexes are built in parallel worker processes and
@@ -280,6 +283,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the background maintenance thread (re-sync/pre-warm/"
         "evict still available on demand via POST /v1/refresh)",
+    )
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="stream table add/replace/remove events from a JSONL file (or "
+        "stdin) into a running discovery server's POST /v1/ingest",
+    )
+    ingest.add_argument(
+        "--url",
+        required=True,
+        help="base URL of the running server, e.g. http://127.0.0.1:8765",
+    )
+    ingest.add_argument(
+        "--events",
+        metavar="JSONL_FILE",
+        default="-",
+        help="event stream: one JSON event per line "
+        '({"op": "add"|"replace"|"remove", "name": ..., "table": {...}}); '
+        "'-' reads stdin (default: %(default)s)",
+    )
+    ingest.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="events per POST request (default: %(default)s)",
+    )
+    ingest.add_argument(
+        "--no-flush",
+        action="store_true",
+        help="don't force a flush on the final chunk; leave batching to the "
+        "server's micro-batch bounds and maintenance loop",
+    )
+    ingest.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds (default: %(default)s)",
     )
     return parser
 
@@ -551,6 +591,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return run_server(server)
 
 
+def _post_ingest(url: str, payload: dict, timeout: float) -> dict:
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(
+        url.rstrip("/") + "/v1/ingest",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", errors="replace")
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except (json.JSONDecodeError, AttributeError):
+            pass
+        raise ReproError(f"ingest POST failed ({exc.code}): {detail}") from exc
+    except urllib.error.URLError as exc:
+        raise ReproError(f"cannot reach {url}: {exc.reason}") from exc
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.ingest.events import events_from_jsonl
+
+    if args.batch_size < 1:
+        raise ReproError(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.events == "-":
+        events = list(events_from_jsonl(sys.stdin))
+    else:
+        with open(args.events) as handle:
+            events = list(events_from_jsonl(handle))
+    if not events:
+        print("no events to send")
+        return 0
+    chunks = [
+        events[start : start + args.batch_size]
+        for start in range(0, len(events), args.batch_size)
+    ]
+    sent = accepted = batches_applied = 0
+    response: dict = {}
+    for index, chunk in enumerate(chunks):
+        final = index == len(chunks) - 1
+        response = _post_ingest(
+            args.url,
+            {
+                "events": [event.to_payload() for event in chunk],
+                "flush": final and not args.no_flush,
+            },
+            args.timeout,
+        )
+        sent += len(chunk)
+        accepted += response.get("accepted", 0)
+        batches_applied += response.get("batches_applied", 0)
+    print(
+        f"sent {sent} event(s) in {len(chunks)} request(s): "
+        f"{accepted} accepted after netting, "
+        f"{batches_applied} micro-batch(es) applied, "
+        f"{response.get('pending_events', 0)} still pending, "
+        f"lake version {response.get('lake_version')}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "search": _cmd_search,
@@ -558,6 +664,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "warm": _cmd_warm,
     "serve": _cmd_serve,
+    "ingest": _cmd_ingest,
 }
 
 

@@ -23,7 +23,7 @@ import inspect
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.api.config import ComponentSpec, DiscoveryConfig
 from repro.api.schema import RESULT_SCHEMA_VERSION, dump_result
@@ -43,6 +43,9 @@ from repro.search.sharded import ShardedSearcher
 from repro.serving.service import QueryService
 from repro.serving.store import IndexStore
 from repro.utils.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (ingest -> api)
+    from repro.ingest.controller import IngestController
 
 #: Reduced-scale shape overrides applied by :func:`build_benchmark` so CLI and
 #: CI invocations stay laptop-sized; pass explicit overrides for larger runs.
@@ -228,6 +231,8 @@ class Discovery:
         #: Backends whose index predates a :meth:`refresh` call; each one
         #: re-synchronises lazily the next time it serves a query.
         self._stale_backends: set[str] = set()
+        #: Lazily-built streaming write path (see :meth:`ingest`).
+        self._ingest = None
         self._closed = False
 
     # ------------------------------------------------------------ construction
@@ -312,6 +317,9 @@ class Discovery:
         if self._closed:
             return
         self._closed = True
+        if self._ingest is not None:
+            self._ingest.close()
+            self._ingest = None
         for service in self._services.values():
             service.close()
         self._services.clear()
@@ -337,6 +345,11 @@ class Discovery:
         self._services.clear()
         self._pipelines.clear()
         self._stale_backends.clear()
+        if self._ingest is not None:
+            # The controller targets the previous lake; drop it so the next
+            # ingest() call rebuilds against the new attachment.
+            self._ingest.close()
+            self._ingest = None
         self._ensure_backend(self.config.searcher.name)
         return self
 
@@ -386,6 +399,59 @@ class Discovery:
                 self._sync_backend(key)
                 moved.append(key)
         return moved
+
+    @property
+    def built_backends(self) -> list[str]:
+        """Names of the backends already built for this deployment, sorted."""
+        return sorted(self._searchers)
+
+    def ingest(self, *, gate: Any = None) -> "IngestController":
+        """The deployment's streaming write path (built lazily, one per lake).
+
+        Returns an :class:`~repro.ingest.controller.IngestController`
+        configured from this config's ``ingest`` section (defaults when the
+        section is absent).  Events submitted to it are netted per table,
+        coalesced into bounded micro-batches, applied atomically to the
+        attached lake plus every built backend's ``update_index`` path, and
+        checkpointed for journal compaction.  Pass the serving layer's
+        ``gate`` so applied batches exclude in-flight queries; calling again
+        with a gate rebinds the existing controller.
+        """
+        self._check_open()
+        self.lake  # raises when not attached
+        if self._ingest is None:
+            from repro.ingest.controller import IngestController
+
+            section = self.config.ingest
+            if section is None:
+                from repro.api.config import _INGEST_DEFAULTS
+
+                section = dict(_INGEST_DEFAULTS)
+            self._ingest = IngestController(self, gate=gate, **section)
+        elif gate is not None:
+            self._ingest.bind_gate(gate)
+        return self._ingest
+
+    def lake_health(self) -> dict[str, Any] | None:
+        """Write-path health of the attached lake (``None`` when detached).
+
+        Version, journal depth/floor, entries dropped by the bounded-journal
+        trim, and retained compaction-checkpoint versions — the numbers an
+        operator needs to judge whether ``changes_since`` consumers are at
+        risk of the full-rebuild floor.
+        """
+        if not self.is_attached:
+            return None
+        lake = self.lake
+        return {
+            "name": lake.name,
+            "version": lake.version,
+            "num_tables": lake.num_tables,
+            "journal_depth": lake.journal_depth,
+            "journal_floor": lake.journal_floor,
+            "journal_dropped": lake.journal_dropped,
+            "checkpoints": lake.checkpoint_versions,
+        }
 
     def service_stats(self) -> dict[str, dict[str, int]]:
         """Result-cache hit/miss counters per built query service."""
@@ -629,10 +695,15 @@ class Discovery:
                     "num_tables": self.lake.num_tables,
                     "version": self.lake.version,
                     "fingerprint": self.lake.fingerprint(),
+                    "journal_depth": self.lake.journal_depth,
+                    "journal_floor": self.lake.journal_floor,
+                    "journal_dropped": self.lake.journal_dropped,
+                    "checkpoints": self.lake.checkpoint_versions,
                 }
                 if self.is_attached
                 else None
             ),
+            "ingest": self._ingest.stats if self._ingest is not None else None,
             "indexed_backends": sorted(self._searchers),
             "serving": self.config.serving is not None,
             "num_shards": (

@@ -16,6 +16,17 @@ to incremental index maintenance
 (:meth:`~repro.search.base.TableUnionSearcher.update_index`).  Tables passed
 to the constructor are the version-0 seed state, not mutations: they are
 catalogued without journal entries.
+
+The journal is bounded (:data:`MAX_JOURNAL_ENTRIES`); a long-lived,
+high-write lake eventually trims entries and consumers anchored below the
+trim floor would fall off the full-rebuild cliff.  **Compaction checkpoints**
+(:meth:`~DataLake.checkpoint`) close that gap: a checkpoint records the
+lake's per-table fingerprint snapshot at its version, and
+:meth:`~DataLake.changes_since` falls back to diffing the snapshot against
+the current content when the journal no longer reaches that far — so a
+consumer that re-anchors at checkpointed versions (the streaming-ingest
+micro-batcher checkpoints after every applied batch) never sees ``None``
+regardless of how many events have streamed past it.
 """
 
 from __future__ import annotations
@@ -23,15 +34,21 @@ from __future__ import annotations
 import hashlib
 from typing import Callable, Iterable, Iterator
 
-from repro.datalake.delta import LakeDelta
+from repro.datalake.delta import LakeDelta, diff_table_fingerprints
 from repro.datalake.table import Table
 from repro.utils.errors import DataLakeError
 
 #: Journal entries kept before the oldest are dropped.  Versions older than
 #: the retained window make ``changes_since`` return ``None`` (callers then
-#: fall back to a fingerprint diff or a full rebuild), so the bound trades a
-#: rebuild on very stale consumers for bounded memory on long-lived lakes.
+#: fall back to a fingerprint diff or a full rebuild) unless they are
+#: checkpointed, so the bound trades a rebuild on very stale consumers for
+#: bounded memory on long-lived lakes.
 MAX_JOURNAL_ENTRIES = 4096
+
+#: Compaction checkpoints retained before the oldest are dropped.  Each
+#: checkpoint is one ``name -> fingerprint`` map (O(tables) strings), so the
+#: bound keeps checkpointing O(1) in the number of applied batches.
+MAX_CHECKPOINTS = 16
 
 
 class DataLake:
@@ -45,6 +62,10 @@ class DataLake:
         self._journal: list[tuple[int, str, str]] = []
         #: Versions at or below this floor predate the retained journal.
         self._journal_floor = 0
+        #: Total journal entries discarded by the trim (write-path health).
+        self._journal_dropped = 0
+        #: Compaction checkpoints: ``version -> table fingerprint snapshot``.
+        self._checkpoints: dict[int, dict[str, str]] = {}
         # Seed tables are the lake's version-0 state, not mutations: they
         # enter the catalog without version bumps or journal entries, so
         # constructing a large lake (or a shard view of one) never burns the
@@ -70,20 +91,89 @@ class DataLake:
         self._journal.append((self._version, op, name))
         if len(self._journal) > MAX_JOURNAL_ENTRIES:
             dropped = len(self._journal) - MAX_JOURNAL_ENTRIES
+            # Never split a same-version entry group (the remove+add pair a
+            # replace/touch journals at one version): trimming half of a pair
+            # would leave an orphaned entry whose version equals the floor.
+            # Extend the trim to the group boundary so the floor is always a
+            # clean edge — every retained entry's version is > the floor.
+            while (
+                dropped < len(self._journal)
+                and self._journal[dropped][0] == self._journal[dropped - 1][0]
+            ):
+                dropped += 1
             self._journal_floor = self._journal[dropped - 1][0]
+            self._journal_dropped += dropped
             del self._journal[:dropped]
+
+    @property
+    def journal_depth(self) -> int:
+        """Number of journal entries currently retained."""
+        return len(self._journal)
+
+    @property
+    def journal_floor(self) -> int:
+        """Oldest version ``changes_since`` can serve from the journal.
+
+        A consumer at exactly the floor is still served (the floor version's
+        own entries were dropped, but every *later* entry is retained, which
+        is all a floor-anchored consumer needs); versions strictly below the
+        floor fall back to compaction checkpoints, then to ``None``.
+        """
+        return self._journal_floor
+
+    @property
+    def journal_dropped(self) -> int:
+        """Total journal entries discarded by the bounded-journal trim."""
+        return self._journal_dropped
+
+    # ------------------------------------------------------------- compaction
+    def checkpoint(self) -> int:
+        """Record a compaction checkpoint at the current version.
+
+        Snapshots the per-table fingerprint map so ``changes_since`` can
+        later serve a consumer anchored at this version even after the
+        journal trims past it.  At most :data:`MAX_CHECKPOINTS` snapshots are
+        retained (oldest evicted first).  Returns the checkpointed version.
+        """
+        self._checkpoints[self._version] = self.table_fingerprints()
+        while len(self._checkpoints) > MAX_CHECKPOINTS:
+            del self._checkpoints[min(self._checkpoints)]
+        return self._version
+
+    @property
+    def checkpoint_versions(self) -> list[int]:
+        """Versions with a retained compaction checkpoint, ascending."""
+        return sorted(self._checkpoints)
+
+    def _changes_from_checkpoint(self, version: int) -> LakeDelta | None:
+        snapshot = self._checkpoints.get(version)
+        if snapshot is None:
+            return None
+        added, removed = diff_table_fingerprints(snapshot, self.table_fingerprints())
+        return LakeDelta(
+            base_version=version,
+            version=self._version,
+            added=tuple(added),
+            removed=tuple(removed),
+        )
 
     def changes_since(self, version: int) -> LakeDelta | None:
         """Net delta between ``version`` and the current version.
 
-        Returns ``None`` when the delta cannot be derived: ``version`` is in
-        the future, or it predates the retained journal window.  Callers
-        treat ``None`` as "assume everything changed" (full rebuild or
-        fingerprint diff).  Replaced/touched tables appear in both ``added``
-        and ``removed``; add-then-remove sequences cancel out.
+        Served from the journal when ``version`` is within the retained
+        window; when it predates the window, a compaction checkpoint at
+        exactly that version (see :meth:`checkpoint`) is diffed against the
+        current content instead.  Returns ``None`` only when neither source
+        can derive the delta: ``version`` is in the future, or it is below
+        the journal floor and not checkpointed.  Callers treat ``None`` as
+        "assume everything changed" (full rebuild or fingerprint diff).
+        Replaced/touched tables appear in both ``added`` and ``removed``;
+        add-then-remove sequences cancel out.
         """
-        if version > self._version or version < self._journal_floor:
+        if version > self._version:
             return None
+        if version < self._journal_floor:
+            return self._changes_from_checkpoint(version)
         first_op: dict[str, str] = {}
         for entry_version, op, table_name in self._journal:
             if entry_version <= version:

@@ -1,0 +1,87 @@
+"""The :class:`IngestQueue` — thread-safe front door for mutation events.
+
+Producers on any thread call :meth:`IngestQueue.submit`; the queue nets
+events through its :class:`~repro.ingest.registry.DeltaRegistry` under a
+lock and tracks how long the oldest pending operation has been waiting, so
+the :class:`~repro.ingest.batcher.MicroBatcher` can honour its max-latency
+flush deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable
+
+from repro.ingest.events import TableEvent
+from repro.ingest.registry import DeltaRegistry
+
+
+class IngestQueue:
+    """Thread-safe, netting event queue.
+
+    All mutation of the underlying :class:`DeltaRegistry` happens under one
+    lock, so producers may submit concurrently with each other and with the
+    batcher's drain.
+    """
+
+    def __init__(
+        self, *, fingerprint_of: Callable[[str], str | None] | None = None
+    ) -> None:
+        self._registry = DeltaRegistry(fingerprint_of=fingerprint_of)
+        self._lock = threading.Lock()
+        #: ``time.monotonic()`` of the first event since the last full drain,
+        #: or ``None`` when nothing is pending — drives the latency deadline.
+        self._first_pending_at: float | None = None
+
+    def submit(self, event: TableEvent) -> bool:
+        """Net one event into the queue; returns ``True`` if it left work pending."""
+        with self._lock:
+            kept = self._registry.record(event)
+            if self._registry.pending_events == 0:
+                self._first_pending_at = None
+            elif self._first_pending_at is None:
+                self._first_pending_at = time.monotonic()
+            return kept
+
+    def submit_many(self, events: Iterable[TableEvent]) -> int:
+        """Submit every event; returns how many left work pending."""
+        return sum(1 for event in events if self.submit(event))
+
+    @property
+    def pending_events(self) -> int:
+        with self._lock:
+            return self._registry.pending_events
+
+    @property
+    def pending_bytes(self) -> int:
+        with self._lock:
+            return self._registry.pending_bytes
+
+    def oldest_pending_seconds(self) -> float:
+        """Seconds the oldest pending operation has been waiting (0.0 if none)."""
+        with self._lock:
+            if self._first_pending_at is None:
+                return 0.0
+            return time.monotonic() - self._first_pending_at
+
+    def drain(
+        self, *, max_events: int | None = None, max_bytes: int | None = None
+    ) -> list[TableEvent]:
+        """Drain up to one micro-batch of netted operations (oldest first)."""
+        with self._lock:
+            batch = self._registry.drain(max_events=max_events, max_bytes=max_bytes)
+            if self._registry.pending_events == 0:
+                self._first_pending_at = None
+            elif batch:
+                # Remaining events inherit "now" as their wait anchor: they
+                # were younger than everything just drained, and resetting
+                # avoids an immediate spurious latency-deadline flush.
+                self._first_pending_at = time.monotonic()
+            return batch
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Copy of the registry's netting counters."""
+        with self._lock:
+            return dict(self._registry.stats)

@@ -1,0 +1,145 @@
+"""The :class:`DeltaRegistry` — per-table dedup and netting of ingest events.
+
+A raw event stream is redundant: the same table may be replaced five times
+between flushes, added and then removed, or "replaced" with content identical
+to what the lake already holds.  The registry keeps at most **one pending
+operation per table name** and nets every incoming event against it, so the
+micro-batcher only ever applies the minimal surviving mutation set:
+
+- ``add`` followed by ``remove`` cancels outright (the lake never saw it);
+- consecutive ``add``/``replace`` supersede — only the newest content
+  survives (the pending op *kind* is kept, so an unapplied ``add`` stays an
+  ``add`` even when later events arrive as ``replace``);
+- ``remove`` followed by ``add``/``replace`` nets to a replace of the table
+  that is still in the lake;
+- events whose content fingerprint equals the lake's current content (and
+  with nothing pending for that name) are dropped as no-ops.
+
+Order across *different* tables is preserved (FIFO by first-touch), which
+keeps drained batches deterministic.  The netting shape follows the
+delta-registry pattern named in the ROADMAP's streaming-ingestion item.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ingest.events import TableEvent
+
+
+class DeltaRegistry:
+    """Nets a stream of :class:`TableEvent` into minimal pending mutations.
+
+    Parameters
+    ----------
+    fingerprint_of:
+        Optional callable mapping a table name to the lake's current content
+        fingerprint for that table (``None`` when absent).  When provided,
+        incoming add/replace events whose payload fingerprint matches the
+        lake — and that have no pending op to supersede — are dropped as
+        no-ops before they ever cost a batch slot.
+    """
+
+    def __init__(
+        self, *, fingerprint_of: Callable[[str], str | None] | None = None
+    ) -> None:
+        self._pending: dict[str, TableEvent] = {}
+        self._fingerprint_of = fingerprint_of
+        self.stats: dict[str, int] = {
+            "received": 0,
+            "noops_dropped": 0,
+            "cancelled": 0,
+            "superseded": 0,
+            "deduped": 0,
+            "drained": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of tables with a pending netted operation."""
+        return len(self._pending)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Estimated byte cost of all pending operations."""
+        return sum(event.cost_bytes for event in self._pending.values())
+
+    def record(self, event: TableEvent) -> bool:
+        """Net ``event`` against the pending state.
+
+        Returns ``True`` when the event left a pending operation for its
+        table, ``False`` when it was absorbed (no-op drop, dedup, or an
+        add+remove cancellation).
+        """
+        self.stats["received"] += 1
+        previous = self._pending.get(event.name)
+
+        if previous is None:
+            if event.op != "remove" and self._fingerprint_of is not None:
+                if self._fingerprint_of(event.name) == event.fingerprint():
+                    self.stats["noops_dropped"] += 1
+                    return False
+            self._pending[event.name] = event
+            return True
+
+        if event.op == "remove":
+            if previous.op == "add":
+                # The lake never saw this table: add + remove cancels.
+                del self._pending[event.name]
+                self.stats["cancelled"] += 1
+                return False
+            if previous.op == "remove":
+                self.stats["deduped"] += 1
+                return True
+            # replace + remove nets to a plain remove.
+            self._pending[event.name] = TableEvent(op="remove", name=event.name)
+            self.stats["superseded"] += 1
+            return True
+
+        # event is add/replace from here on.
+        if previous.op == "remove":
+            # remove + (add|replace): the table is still in the lake, so the
+            # net effect is replacing it with the new content.
+            self._pending[event.name] = TableEvent(
+                op="replace", name=event.name, table=event.table
+            )
+            self.stats["superseded"] += 1
+            return True
+
+        if previous.fingerprint() == event.fingerprint():
+            self.stats["deduped"] += 1
+            return True
+        # Newest content wins; keep the pending op kind so an unapplied
+        # ``add`` stays an ``add`` regardless of how later events arrived.
+        self._pending[event.name] = TableEvent(
+            op=previous.op, name=event.name, table=event.table
+        )
+        self.stats["superseded"] += 1
+        return True
+
+    def drain(
+        self, *, max_events: int | None = None, max_bytes: int | None = None
+    ) -> list[TableEvent]:
+        """Remove and return pending operations, oldest-first (FIFO).
+
+        Stops at ``max_events`` operations or once ``max_bytes`` of estimated
+        cost is reached — but always yields at least one operation when any
+        is pending, so a single table larger than the byte budget still
+        flows through (as a batch of one) instead of wedging the queue.
+        """
+        batch: list[TableEvent] = []
+        cost = 0
+        for name in list(self._pending):
+            if max_events is not None and len(batch) >= max_events:
+                break
+            event = self._pending[name]
+            if batch and max_bytes is not None and cost + event.cost_bytes > max_bytes:
+                break
+            del self._pending[name]
+            batch.append(event)
+            cost += event.cost_bytes
+        self.stats["drained"] += len(batch)
+        return batch

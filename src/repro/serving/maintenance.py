@@ -36,6 +36,7 @@ from repro.utils.errors import ReproError, ServingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> serving)
     from repro.api.facade import Discovery
+    from repro.ingest.controller import IngestController
     from repro.serving.store import IndexStore
 
 
@@ -190,6 +191,7 @@ class MaintenanceLoop:
         prewarm_queries: int = 8,
         store: "IndexStore | None" = None,
         exclusive_timeout: float = 1.0,
+        ingest: "IngestController | None" = None,
     ) -> None:
         if interval_seconds < 0 or idle_seconds < 0:
             raise ServingError(
@@ -209,6 +211,11 @@ class MaintenanceLoop:
         self.prewarm_queries = prewarm_queries
         self.store = store
         self.exclusive_timeout = exclusive_timeout
+        #: Optional streaming-ingest controller; when present each cycle
+        #: flushes due micro-batches first (the freshest possible index for
+        #: the re-sync/pre-warm that follows) and checks shard rebalancing
+        #: last (the most expensive, least urgent task).
+        self.ingest = ingest
         #: Serializes cycles: the background thread and an on-demand
         #: ``/v1/refresh`` may ask for one concurrently.
         self._cycle_lock = threading.Lock()
@@ -221,6 +228,9 @@ class MaintenanceLoop:
             "backends_resynced": 0,
             "prewarmed": 0,
             "evicted_entries": 0,
+            "batches_applied": 0,
+            "events_applied": 0,
+            "rebalances": 0,
             "yields": 0,
             "errors": 0,
         }
@@ -249,8 +259,32 @@ class MaintenanceLoop:
             return self._run_cycle_locked()
 
     def _run_cycle_locked(self) -> dict[str, int]:
-        done = {"resynced_backends": 0, "prewarmed": 0, "evicted": 0, "yielded": 0}
+        done = {
+            "resynced_backends": 0,
+            "prewarmed": 0,
+            "evicted": 0,
+            "batches_applied": 0,
+            "rebalanced": 0,
+            "yielded": 0,
+        }
         self._bump("cycles")
+        # Streaming ingest flushes first: the micro-batcher takes the gate
+        # exclusively itself (per batch), and the re-sync below then sees a
+        # lake whose pending writes already landed.
+        if self.ingest is not None:
+            try:
+                reports = self.ingest.flush_if_due()
+            except ReproError:
+                # Gate drain timeout — events stay queued for a later cycle.
+                self._bump("yields")
+                done["yielded"] = 1
+                reports = []
+            if reports:
+                done["batches_applied"] = len(reports)
+                self._bump("batches_applied", len(reports))
+                self._bump(
+                    "events_applied", sum(r.get("events", 0) for r in reports)
+                )
         # Re-sync mutates live indexes, so it runs with the gate held
         # exclusively: in-flight queries drain first, arriving queries wait
         # at enter() until the delta is applied.  Under constant traffic the
@@ -283,6 +317,25 @@ class MaintenanceLoop:
             evicted = self.store.evict_cold()
             self._bump("evicted_entries", evicted)
             done["evicted"] = evicted
+        if self.gate.busy:
+            self._bump("yields")
+            done["yielded"] = 1
+            return done
+        # Rebalancing runs last: it is the most expensive task and only
+        # matters once size skew has drifted, which takes many batches.
+        if self.ingest is not None:
+            try:
+                rebalanced = [
+                    report
+                    for report in self.ingest.maybe_rebalance()
+                    if report.get("rebalanced")
+                ]
+            except ReproError:
+                self._bump("errors")
+                rebalanced = []
+            if rebalanced:
+                done["rebalanced"] = len(rebalanced)
+                self._bump("rebalances", len(rebalanced))
         return done
 
     def _prewarm(self) -> int:

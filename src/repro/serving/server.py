@@ -70,7 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> serving)
 #: discover capabilities instead of hard-coding paths.
 ENDPOINTS: dict[str, tuple[str, ...]] = {
     "GET": ("/v1/health", "/v1/info", "/v1/metrics"),
-    "POST": ("/v1/search", "/v1/refresh"),
+    "POST": ("/v1/search", "/v1/refresh", "/v1/ingest"),
 }
 
 
@@ -151,8 +151,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
             status, headers, body = self.server.api_search(payload)
             self._respond(status, body, headers)
             return
+        routes = {
+            "/v1/refresh": lambda: self.server.api_refresh(),
+            "/v1/ingest": lambda: self.server.api_ingest(payload),
+        }
         try:
-            self._respond(200, _json_bytes(self.server.api_refresh()))
+            self._respond(200, _json_bytes(routes[path]()))
         except ReproError as exc:
             self.server._bump("errors")
             self._respond(400, _json_bytes({"error": str(exc)}))
@@ -224,6 +228,9 @@ class DiscoveryServer(ThreadingHTTPServer):
         #: per-backend construction is not safe under concurrent first
         #: queries, and once built this lock guards a dict lookup only.
         self._ensure_lock = threading.Lock()
+        #: The deployment's streaming write path, bound to this server's
+        #: gate so applied micro-batches exclude in-flight queries.
+        self.ingest = discovery.ingest(gate=self.gate)
         self.maintenance = MaintenanceLoop(
             discovery,
             gate=self.gate,
@@ -233,6 +240,7 @@ class DiscoveryServer(ThreadingHTTPServer):
             resolve_query=self.resolve_query,
             prewarm_queries=prewarm_queries,
             store=discovery.store,
+            ingest=self.ingest,
         )
         self.maintenance_enabled = bool(maintenance)
         self._serve_thread: threading.Thread | None = None
@@ -413,6 +421,8 @@ class DiscoveryServer(ThreadingHTTPServer):
             "latency": latency_summary(self.events.tail()),
             "cache": self.discovery.service_stats(),
             "maintenance": self.maintenance.stats,
+            "lake": self.discovery.lake_health(),
+            "ingest": self.ingest.stats,
         }
 
     def api_refresh(self) -> dict[str, Any]:
@@ -426,6 +436,48 @@ class DiscoveryServer(ThreadingHTTPServer):
         return {
             "refresh": self.maintenance.run_cycle(),
             "maintenance": self.maintenance.stats,
+        }
+
+    def api_ingest(self, payload: Any) -> dict[str, Any]:
+        """Accept a batch of mutation events into the streaming write path.
+
+        Body shape::
+
+            {"events": [{"op": "add"|"replace"|"remove", "name": ...,
+                         "table": {...}}, ...],
+             "flush": false}
+
+        Events are netted into the ingest queue; with ``"flush": true`` all
+        pending micro-batches are applied before responding (the CLI sets it
+        on its final chunk), otherwise batches land when a bound trips —
+        applied by this request if one is already due, else by the
+        maintenance loop.  The response reports what happened *now*; pending
+        events are durable in the queue either way.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServingError(
+                f"ingest body must be a JSON object, got {type(payload).__name__}"
+            )
+        raw_events = payload.get("events")
+        if not isinstance(raw_events, list):
+            raise ServingError("ingest body needs an 'events' list")
+        flush = payload.get("flush", False)
+        if not isinstance(flush, bool):
+            raise ServingError(f"ingest 'flush' must be a boolean, got {flush!r}")
+        from repro.ingest.events import event_from_payload
+
+        events = [event_from_payload(item) for item in raw_events]
+        accepted = self.ingest.submit_many(events)
+        reports = self.ingest.flush() if flush else self.ingest.flush_if_due()
+        return {
+            "received": len(events),
+            "accepted": accepted,
+            "pending_events": self.ingest.pending_events,
+            "pending_bytes": self.ingest.pending_bytes,
+            "flushed": bool(reports),
+            "batches_applied": len(reports),
+            "events_applied": sum(report["events"] for report in reports),
+            "lake_version": self.discovery.lake.version,
         }
 
     def api_search(self, payload: Any) -> tuple[int, dict[str, str], bytes]:

@@ -265,9 +265,18 @@ class IndexStore:
                     f"persisted index payload {payload} is missing or corrupt "
                     "(checksum mismatch)"
                 )
-        state = json.loads((entry / _STATE).read_text())
-        with np.load(entry / _ARRAYS) as payload:
-            arrays = {key: payload[key] for key in payload.files}
+        try:
+            state = json.loads((entry / _STATE).read_text())
+            with np.load(entry / _ARRAYS) as payload:
+                arrays = {key: payload[key] for key in payload.files}
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            # The entry can vanish between checksum validation and these
+            # reads — a concurrent evict_cold/_evict_superseded rmtree.
+            # Surface it as corruption so load_or_build heals with a build.
+            raise ServingError(
+                f"persisted index entry {entry} became unreadable mid-load "
+                f"(concurrent eviction?): {exc}"
+            ) from exc
         return state, arrays
 
     # ------------------------------------------------------------ delta update

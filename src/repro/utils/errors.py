@@ -63,6 +63,10 @@ class IndexMergeUnsupported(SearchError):
     """
 
 
+class IngestError(ReproError):
+    """A streaming-ingest event, batch, or rebalance operation failed."""
+
+
 class BenchmarkError(ReproError):
     """A benchmark generator was asked for an impossible configuration."""
 

@@ -171,6 +171,77 @@ class TestLakeVersioning:
         assert added == ["a"] and removed == ["a"]
 
 
+class TestJournalCompaction:
+    def test_trim_never_splits_a_replace_pair(self, monkeypatch):
+        # Regression: the journal trim used to cut mid-group, so a consumer
+        # whose anchor landed between a replace's remove+add entries (same
+        # version) was served a spurious add-only delta.  The trim now
+        # extends to the group boundary: every retained entry's version is
+        # strictly above the floor.
+        monkeypatch.setattr(lake_module, "MAX_JOURNAL_ENTRIES", 4)
+        lake = DataLake([make_table("a"), make_table("b")])
+        lake.replace_table(make_table("a", seed="v1"))  # 2 entries at one version
+        lake.replace_table(make_table("b", seed="v1"))  # trim trips here
+        lake.add_table(make_table("c"))
+        assert all(
+            version > lake.journal_floor for version, _, _ in lake._journal
+        )
+        # A consumer anchored exactly at the floor is served from the journal
+        # and sees complete replace pairs, never an orphaned add.
+        delta = lake.changes_since(lake.journal_floor)
+        assert delta is not None
+        assert set(delta.removed) <= set(delta.added) | {"a", "b"}
+        for name in delta.added:
+            if name in ("a", "b"):  # replaced tables appear in both lists
+                assert name in delta.removed
+
+    def test_floor_boundary_semantics(self, monkeypatch):
+        monkeypatch.setattr(lake_module, "MAX_JOURNAL_ENTRIES", 4)
+        lake = DataLake()
+        for i in range(8):
+            lake.add_table(make_table(f"t{i}"))
+        floor = lake.journal_floor
+        assert floor > 0
+        assert lake.changes_since(floor) is not None  # at the floor: served
+        assert lake.changes_since(floor - 1) is None  # past it, no checkpoint
+        assert lake.journal_dropped == 8 - lake.journal_depth
+
+    def test_checkpoint_serves_consumers_past_the_floor(self, monkeypatch):
+        monkeypatch.setattr(lake_module, "MAX_JOURNAL_ENTRIES", 4)
+        lake = DataLake([make_table("seed")])
+        anchor = lake.checkpoint()
+        for i in range(8):
+            lake.add_table(make_table(f"t{i}"))
+        lake.remove_table("seed")
+        assert anchor < lake.journal_floor
+        delta = lake.changes_since(anchor)
+        assert delta is not None
+        assert set(delta.added) == {f"t{i}" for i in range(8)}
+        assert delta.removed == ("seed",)
+
+    def test_checkpoint_ring_is_bounded(self):
+        lake = DataLake()
+        for i in range(lake_module.MAX_CHECKPOINTS + 5):
+            lake.add_table(make_table(f"t{i}"))
+            lake.checkpoint()
+        versions = lake.checkpoint_versions
+        assert len(versions) == lake_module.MAX_CHECKPOINTS
+        assert versions == sorted(versions)
+        # The oldest checkpoints were evicted; a consumer anchored on an
+        # evicted version past the floor gets the honest "rebuild" answer.
+        assert versions[0] == 6
+
+    def test_checkpoint_at_current_version_yields_empty_delta(self):
+        lake = DataLake([make_table("a")])
+        lake.add_table(make_table("b"))
+        version = lake.checkpoint()
+        delta = lake.changes_since(version)
+        assert delta is not None and delta.is_empty
+        lake.replace_table(make_table("b", seed="v2"))
+        delta = lake.changes_since(version)
+        assert delta.added == ("b",) and delta.removed == ("b",)
+
+
 # ----------------------------------------------------------- searcher protocol
 class RebuildOnlySearcher(TableUnionSearcher):
     """A backend with no incremental path: update_index must rebuild."""

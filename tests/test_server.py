@@ -257,6 +257,8 @@ class TestMaintenanceLoop:
                 "resynced_backends": 0,
                 "prewarmed": 0,
                 "evicted": 0,
+                "batches_applied": 0,
+                "rebalanced": 0,
                 "yielded": 1,
             }
             assert loop.stats["yields"] == 1
@@ -310,6 +312,89 @@ class TestMaintenanceLoop:
                 MaintenanceLoop(discovery, interval_seconds=-1.0)
             with pytest.raises(ServingError):
                 MaintenanceLoop(discovery, prewarm_queries=-1)
+
+    def test_run_cycle_is_serialized_across_threads(self, small_benchmark):
+        """The background maintenance thread and an on-demand ``/v1/refresh``
+        can request a cycle at the same instant; the cycle lock must run
+        them one at a time, never interleaved mid-cycle."""
+
+        class ProbeIngest:
+            """Stands in for IngestController; records call concurrency."""
+
+            def __init__(self):
+                self.active = 0
+                self.max_active = 0
+                self.calls = 0
+                self._lock = threading.Lock()
+
+            def flush_if_due(self):
+                with self._lock:
+                    self.active += 1
+                    self.calls += 1
+                    self.max_active = max(self.max_active, self.active)
+                time.sleep(0.02)  # widen the window an overlap would need
+                with self._lock:
+                    self.active -= 1
+                return []
+
+            def maybe_rebalance(self):
+                return []
+
+        with Discovery.from_config(None).attach(small_benchmark.lake) as discovery:
+            probe = ProbeIngest()
+            loop = MaintenanceLoop(discovery, idle_seconds=0.0, ingest=probe)
+            threads = [threading.Thread(target=loop.run_cycle) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert probe.calls == 4
+            assert probe.max_active == 1
+            assert loop.stats["cycles"] == 4
+
+    def test_background_thread_and_refresh_share_the_cycle_lock(
+        self, small_benchmark
+    ):
+        """While the background thread is mid-cycle, a concurrent on-demand
+        run_cycle (what ``/v1/refresh`` calls) blocks until it finishes
+        instead of racing it."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        class BlockingIngest:
+            def flush_if_due(self):
+                entered.set()
+                assert release.wait(timeout=30)
+                return []
+
+            def maybe_rebalance(self):
+                return []
+
+        with Discovery.from_config(None).attach(small_benchmark.lake) as discovery:
+            loop = MaintenanceLoop(
+                discovery,
+                idle_seconds=0.0,
+                interval_seconds=0.01,
+                ingest=BlockingIngest(),
+            ).start()
+            try:
+                assert entered.wait(timeout=30)  # background thread mid-cycle
+                on_demand: list[dict] = []
+                refresher = threading.Thread(
+                    target=lambda: on_demand.append(loop.run_cycle())
+                )
+                refresher.start()
+                refresher.join(timeout=0.2)
+                assert refresher.is_alive()  # blocked on the cycle lock
+                entered.clear()
+                release.set()
+                refresher.join(timeout=30)
+                assert not refresher.is_alive()
+                (done,) = on_demand
+                assert done["yielded"] == 0
+            finally:
+                release.set()
+                loop.stop()
 
 
 # --------------------------------------------------------------- store hygiene

@@ -204,6 +204,88 @@ class TestIndexStore:
         assert manifest["backend_class"] == "ValueOverlapSearcher"
         assert set(manifest["checksums"]) == {"state.json", "arrays.npz"}
 
+    def test_entry_evicted_mid_load_heals_via_rebuild(
+        self, small_benchmark, tmp_path, monkeypatch
+    ):
+        """Regression: evict_cold racing load_or_build.  The maintenance loop
+        can rmtree an entry between load()'s checksum validation and its
+        payload reads; the resulting FileNotFoundError must surface as
+        store corruption (healed by a rebuild), not escape the caller."""
+        import shutil
+
+        import repro.serving.store as store_module
+
+        store = IndexStore(tmp_path / "store")
+        lake = small_benchmark.lake
+        entry = store.save(ValueOverlapSearcher().index(lake), lake)
+
+        real_checksum = store_module._file_checksum
+        state = {"remaining": 2}
+
+        def checksum_then_evict(path):
+            digest = real_checksum(path)
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                # Both payloads just validated: the eviction sweep wins the
+                # race and removes the whole entry before load() reads them.
+                shutil.rmtree(entry)
+            return digest
+
+        monkeypatch.setattr(store_module, "_file_checksum", checksum_then_evict)
+        with pytest.raises(ServingError, match="mid-load"):
+            store.load(ValueOverlapSearcher(), lake)
+
+        monkeypatch.setattr(store_module, "_file_checksum", real_checksum)
+        healed = store.load_or_build(ValueOverlapSearcher(), lake)
+        assert healed.is_indexed
+        query = small_benchmark.query_tables[0]
+        fresh = ValueOverlapSearcher().index(lake)
+        assert healed.search(query, 5) == fresh.search(query, 5)
+
+    def test_evict_cold_racing_load_or_build_stress(self, small_benchmark, tmp_path):
+        """evict_cold and load_or_build hammering one store concurrently must
+        never raise and must always end with a servable index."""
+        import threading
+
+        store = IndexStore(tmp_path / "store")
+        lake = small_benchmark.lake
+        mutated = DataLake(
+            [table.copy() for table in lake] + [Table("extra", ["a"], [("v",)])],
+            name=lake.name,
+        )
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def loader():
+            try:
+                for i in range(10):
+                    loaded = store.load_or_build(
+                        ValueOverlapSearcher(), lake if i % 2 else mutated
+                    )
+                    assert loaded.is_indexed
+            except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def evictor():
+            try:
+                while not stop.is_set():
+                    store.evict_cold(max_entries=1)
+            except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=loader), threading.Thread(target=evictor)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        final = store.load_or_build(ValueOverlapSearcher(), lake)
+        query = small_benchmark.query_tables[0]
+        fresh = ValueOverlapSearcher().index(lake)
+        assert final.search(query, 5) == fresh.search(query, 5)
+
 
 class _CountingSearcher(ValueOverlapSearcher):
     """ValueOverlapSearcher that counts search() invocations."""
