@@ -1,0 +1,26 @@
+"""Scenario matrix benchmark: workload shapes × config grid → Pareto fronts.
+
+Thin entry point over :mod:`repro.scenarios.runner` so the scenario matrix
+sits next to the other benchmarks::
+
+    PYTHONPATH=src python benchmarks/bench_scenario_matrix.py --smoke
+    PYTHONPATH=src python benchmarks/bench_scenario_matrix.py  # full matrix
+
+Equivalent to ``python -m repro scenarios``.  Writes ``BENCH_scenarios.json``
+(per-cell latency percentiles, recall vs. the flat exact reference, peak RSS,
+build time, write throughput, plus per-scenario Pareto fronts and preset
+front-membership).  Exact configs are parity-gated against the reference;
+timing is reported, never gated.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scenarios.runner import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

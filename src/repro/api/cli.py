@@ -12,6 +12,7 @@ file, defaults otherwise)::
     dust warm      --store .cache/index-store --benchmark ugen --shards 4 --workers 4
     dust serve     --config cfg.json --benchmark ugen --port 0 --event-log events.jsonl
     dust ingest    --url http://127.0.0.1:8765 --events stream.jsonl
+    dust scenarios --smoke
 
 ``search`` prints one :class:`~repro.api.facade.ResultSet` as the versioned
 result payload of :mod:`repro.api.schema` (``--json`` guarantees nothing else
@@ -21,7 +22,9 @@ indexes (the CI bench-smoke job runs it twice to prove the store's load
 path); ``serve`` runs the resident discovery server
 (:class:`~repro.serving.server.DiscoveryServer`) until SIGTERM; ``ingest``
 streams JSONL table mutation events into a running server's
-``POST /v1/ingest`` in bounded chunks.  ``search``,
+``POST /v1/ingest`` in bounded chunks; ``scenarios`` runs the scenario
+matrix of :mod:`repro.scenarios` (workload shapes × config grid → Pareto
+fronts, ``--smoke`` for the parity-gated CI slice).  ``search``,
 ``warm`` and ``serve`` share one config-override flag set
 (:func:`config_override_parent`): with ``--shards N`` the lake is
 partitioned, the shard indexes are built in parallel worker processes and
@@ -41,10 +44,9 @@ from repro.api.facade import Discovery, build_benchmark
 from repro.api.registry import (
     SEARCHERS,
     available_benchmarks,
-    available_column_encoders,
     available_diversifiers,
     available_searchers,
-    available_tuple_encoders,
+    registry_catalog,
 )
 from repro.utils.errors import ReproError
 
@@ -285,6 +287,41 @@ def build_parser() -> argparse.ArgumentParser:
         "evict still available on demand via POST /v1/refresh)",
     )
 
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="run the scenario matrix: registered workload shapes x config "
+        "grid through the Discovery facade, reduced to per-scenario Pareto "
+        "fronts (exact configs are parity-gated against the flat reference)",
+    )
+    scenarios.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI slice: 2 scenarios x 3 configs, parity-gated not timing-gated",
+    )
+    scenarios.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="workload generators to run (default: every registered generator)",
+    )
+    scenarios.add_argument(
+        "--configs",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="config-grid cells to run (default: the whole grid); the "
+        "flat-exact reference is always included",
+    )
+    scenarios.add_argument("--seed", type=int, default=7)
+    scenarios.add_argument("--k", type=int, default=10)
+    scenarios.add_argument(
+        "--output",
+        metavar="FILE",
+        default="BENCH_scenarios.json",
+        help="write the full matrix report here (default: %(default)s)",
+    )
+
     ingest = subparsers.add_parser(
         "ingest",
         help="stream table add/replace/remove events from a JSONL file (or "
@@ -329,13 +366,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from repro import __version__
 
     config = _load_config(args)
+    catalog = registry_catalog()
     payload = {
         "version": __version__,
-        "searchers": available_searchers(),
-        "diversifiers": available_diversifiers(),
-        "tuple_encoders": available_tuple_encoders(),
-        "column_encoders": available_column_encoders(),
-        "benchmarks": available_benchmarks(),
+        **catalog,
         "config": config.to_dict(),
         "config_fingerprint": config.fingerprint(),
     }
@@ -343,7 +377,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"DUST reproduction v{__version__}")
-    for kind in ("searchers", "diversifiers", "tuple_encoders", "column_encoders", "benchmarks"):
+    for kind in catalog:
         print(f"  {kind.replace('_', ' '):<16}: {', '.join(payload[kind])}")
     print(f"  config fingerprint: {payload['config_fingerprint'][:16]}")
     print(f"  active config     : {json.dumps(payload['config'], sort_keys=True)}")
@@ -615,6 +649,14 @@ def _post_ingest(url: str, payload: dict, timeout: float) -> dict:
         raise ReproError(f"cannot reach {url}: {exc.reason}") from exc
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    # Lazy import: the scenario matrix pulls in the whole serving/ingest
+    # stack, which no other subcommand should pay for.
+    from repro.scenarios.runner import execute
+
+    return execute(args)
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.ingest.events import events_from_jsonl
 
@@ -665,6 +707,7 @@ _COMMANDS = {
     "warm": _cmd_warm,
     "serve": _cmd_serve,
     "ingest": _cmd_ingest,
+    "scenarios": _cmd_scenarios,
 }
 
 

@@ -438,6 +438,23 @@ class DiscoveryConfig:
             self.ingest = {**_INGEST_DEFAULTS, **ingest}
             _validate_ingest(self.ingest)
 
+    # ----------------------------------------------------------------- presets
+    @classmethod
+    def preset(cls, name: str) -> "DiscoveryConfig":
+        """A shipped, evidence-backed named configuration.
+
+        Presets (``"exact"``, ``"balanced"``, ``"low-latency"``) are the
+        config payloads of :mod:`repro.scenarios.presets`, chosen from the
+        measured Pareto fronts of the scenario matrix
+        (``python -m repro scenarios`` → ``BENCH_scenarios.json``); each is
+        a grid cell of that matrix, so its trade-offs are re-measured every
+        run.  Presets round-trip: ``preset(n).to_dict()`` rebuilds an equal
+        config with a stable :meth:`fingerprint`.
+        """
+        from repro.scenarios.presets import preset_payload
+
+        return cls.from_dict(preset_payload(name))
+
     # -------------------------------------------------------------- resolution
     def pipeline_config(self) -> PipelineConfig:
         """The validated :class:`~repro.core.config.PipelineConfig` this names."""

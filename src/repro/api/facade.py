@@ -33,6 +33,7 @@ from repro.api.registry import (
     DIVERSIFIERS,
     SEARCHERS,
     TUPLE_ENCODERS,
+    registry_catalog,
 )
 from repro.core.pipeline import DustPipeline, DustResult
 from repro.datalake.lake import DataLake
@@ -689,6 +690,11 @@ class Discovery:
             "version": __version__,
             "config": self.config.to_dict(),
             "config_fingerprint": self.config.fingerprint(),
+            # Every component registry in one place — searchers and
+            # diversifiers alongside the scenario-matrix workload generators
+            # and metrics — so ``info``/``/v1/info`` stay the single
+            # discoverability surface as registries are added.
+            "registries": registry_catalog(),
             "lake": (
                 {
                     "name": self.lake.name,

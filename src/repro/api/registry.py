@@ -122,6 +122,10 @@ TUPLE_ENCODERS = Registry("tuple encoder", modules=("repro.embeddings",))
 COLUMN_ENCODERS = Registry("column encoder", modules=("repro.embeddings",))
 #: Synthetic benchmark generators (TUS / SANTOS / UGEN-V1 / IMDB).
 BENCHMARKS = Registry("benchmark generator", modules=("repro.benchgen",))
+#: Scenario workload generators (the scenario-matrix harness).
+WORKLOADS = Registry("workload generator", modules=("repro.scenarios",))
+#: Scenario metrics scored over each (scenario, config) matrix cell.
+SCENARIO_METRICS = Registry("scenario metric", modules=("repro.scenarios",))
 
 
 def register_searcher(name: str) -> Callable[[T], T]:
@@ -149,6 +153,16 @@ def register_benchmark(name: str) -> Callable[[T], T]:
     return BENCHMARKS.register(name)
 
 
+def register_workload(name: str) -> Callable[[T], T]:
+    """Register a scenario workload generator (``repro.scenarios``)."""
+    return WORKLOADS.register(name)
+
+
+def register_scenario_metric(name: str) -> Callable[[T], T]:
+    """Register a scenario metric function (``repro.scenarios.metrics``)."""
+    return SCENARIO_METRICS.register(name)
+
+
 def available_searchers() -> list[str]:
     """Names of every registered table union searcher."""
     return SEARCHERS.names()
@@ -172,3 +186,31 @@ def available_column_encoders() -> list[str]:
 def available_benchmarks() -> list[str]:
     """Names of every registered benchmark generator."""
     return BENCHMARKS.names()
+
+
+def available_workloads() -> list[str]:
+    """Names of every registered scenario workload generator."""
+    return WORKLOADS.names()
+
+
+def available_scenario_metrics() -> list[str]:
+    """Names of every registered scenario metric."""
+    return SCENARIO_METRICS.names()
+
+
+def registry_catalog() -> dict[str, list[str]]:
+    """Every registry's implementation names, keyed by component family.
+
+    The one discoverability surface shared by ``python -m repro info`` and
+    the server's ``GET /v1/info``: adding a registry here makes it visible
+    everywhere an operator looks for available components.
+    """
+    return {
+        "searchers": available_searchers(),
+        "diversifiers": available_diversifiers(),
+        "tuple_encoders": available_tuple_encoders(),
+        "column_encoders": available_column_encoders(),
+        "benchmarks": available_benchmarks(),
+        "workloads": available_workloads(),
+        "scenario_metrics": available_scenario_metrics(),
+    }

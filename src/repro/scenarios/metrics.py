@@ -1,0 +1,183 @@
+"""Registered scenario metrics: how one matrix cell is scored.
+
+One :class:`MetricContext` bundles everything observed while executing a
+``(scenario, config)`` cell — per-request latencies, the exact-mode reference
+rankings, the cell's own rankings, build time, peak RSS, write-path counters
+— and every registered metric maps the context to one number::
+
+    @scenario_metric("latency_p50_ms", objective="min")
+    def latency_p50_ms(ctx: MetricContext) -> float:
+        return percentile(ctx.latencies, 0.50) * 1000.0
+
+``objective`` declares the metric's Pareto direction (``"min"``/``"max"``);
+``None`` marks a report-only metric that is carried in every cell but never
+prunes configs (peak RSS is report-only because ``ru_maxrss`` is monotone
+within a process, so later cells can never measure below earlier ones).
+A metric returning ``None`` is skipped for that cell (write-path metrics on
+read-only scenarios), and the per-scenario Pareto front is computed over the
+objective-bearing metrics present in *all* of that scenario's cells.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.api.registry import SCENARIO_METRICS, register_scenario_metric
+from repro.scenarios.generators import Scenario
+from repro.serving.events import percentile
+
+#: One ranked result list: ``(table name, score)`` per hit, best first.
+Ranking = list[tuple[str, float]]
+
+
+def peak_rss_kb() -> float:
+    """The process's lifetime peak resident set size, in KiB.
+
+    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux and bytes on macOS;
+    normalised here so the metric is portable.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / 1024.0
+    return float(peak)
+
+
+@dataclass
+class MetricContext:
+    """Everything observed while executing one ``(scenario, config)`` cell."""
+
+    scenario: Scenario
+    config_name: str
+    k: int
+    build_seconds: float
+    #: Wall time of each request in the query stream, in order (seconds).
+    latencies: list[float]
+    #: The exact-mode reference rankings, one per stream request.
+    reference: list[Ranking]
+    #: This cell's rankings, one per stream request.
+    observed: list[Ranking]
+    peak_rss_kib: float = field(default_factory=peak_rss_kb)
+    #: Write-path counters (zero on scenarios without a mutation stream).
+    mutation_count: int = 0
+    mutation_seconds: float = 0.0
+
+
+MetricFunction = Callable[[MetricContext], "float | None"]
+
+
+def scenario_metric(
+    name: str, *, objective: str | None = None
+) -> Callable[[MetricFunction], MetricFunction]:
+    """Register a scenario metric with its Pareto direction.
+
+    ``objective`` is ``"min"``, ``"max"``, or ``None`` (report-only).
+    """
+    if objective not in (None, "min", "max"):
+        raise ValueError(f"objective must be min/max/None, got {objective!r}")
+
+    def decorate(func: MetricFunction) -> MetricFunction:
+        func.metric_name = name
+        func.objective = objective
+        return register_scenario_metric(name)(func)
+
+    return decorate
+
+
+def recall_against(reference: Sequence[Ranking], observed: Sequence[Ranking], k: int) -> float:
+    """Mean over requests of ``|top-k(reference) ∩ top-k(observed)| / k``."""
+    if not reference:
+        return 0.0
+    recalls = []
+    for wanted, got in zip(reference, observed):
+        wanted_names = {name for name, _ in wanted[:k]}
+        got_names = {name for name, _ in got[:k]}
+        recalls.append(len(wanted_names & got_names) / max(len(wanted_names), 1))
+    return sum(recalls) / len(recalls)
+
+
+# ---------------------------------------------------------- registered metrics
+@scenario_metric("latency_p50_ms", objective="min")
+def latency_p50_ms(ctx: MetricContext) -> float:
+    """Median request latency over the query stream (nearest-rank)."""
+    return percentile(ctx.latencies, 0.50) * 1000.0
+
+
+@scenario_metric("latency_p95_ms", objective="min")
+def latency_p95_ms(ctx: MetricContext) -> float:
+    """Tail request latency over the query stream (nearest-rank)."""
+    return percentile(ctx.latencies, 0.95) * 1000.0
+
+
+@scenario_metric("recall_at_k", objective="max")
+def recall_at_k(ctx: MetricContext) -> float:
+    """Top-k agreement with the exact-mode reference rankings."""
+    return recall_against(ctx.reference, ctx.observed, ctx.k)
+
+
+@scenario_metric("build_seconds", objective="min")
+def build_seconds(ctx: MetricContext) -> float:
+    """Wall time from config to first-query readiness (attach + index)."""
+    return ctx.build_seconds
+
+
+@scenario_metric("peak_rss_mb", objective=None)
+def peak_rss_mb(ctx: MetricContext) -> float:
+    """Process peak RSS after the cell ran, in MiB (report-only: monotone)."""
+    return ctx.peak_rss_kib / 1024.0
+
+
+@scenario_metric("mutations_per_second", objective="max")
+def mutations_per_second(ctx: MetricContext) -> float | None:
+    """Write throughput through ``Discovery.ingest()`` (write scenarios only)."""
+    if ctx.mutation_count == 0:
+        return None
+    if ctx.mutation_seconds <= 0.0:
+        return float("inf")
+    return ctx.mutation_count / ctx.mutation_seconds
+
+
+class MetricCollector:
+    """Score contexts against the registered metric set (Snippet-3 style).
+
+    By default every registered metric participates; pass an explicit list
+    to score a subset.  ``collect`` returns one ``{name: value}`` row per
+    context (metrics returning ``None`` are skipped), and ``observations``
+    accumulates the rows for offline aggregation.
+    """
+
+    def __init__(self, metrics: list[MetricFunction] | None = None) -> None:
+        self.metrics = (
+            list(metrics)
+            if metrics is not None
+            else [SCENARIO_METRICS.get(name) for name in SCENARIO_METRICS.names()]
+        )
+        self.observations: dict[str, list[float]] = {
+            metric.metric_name: [] for metric in self.metrics
+        }
+
+    def reset(self) -> None:
+        """Drop every accumulated observation."""
+        for values in self.observations.values():
+            values.clear()
+
+    def collect(self, ctx: MetricContext) -> dict[str, float]:
+        """Score one cell; stores and returns the applicable metric values."""
+        row: dict[str, float] = {}
+        for metric in self.metrics:
+            value = metric(ctx)
+            if value is None:
+                continue
+            row[metric.metric_name] = float(value)
+            self.observations[metric.metric_name].append(float(value))
+        return row
+
+    def objectives(self) -> dict[str, str]:
+        """``metric name -> "min"|"max"`` for the objective-bearing metrics."""
+        return {
+            metric.metric_name: metric.objective
+            for metric in self.metrics
+            if metric.objective is not None
+        }

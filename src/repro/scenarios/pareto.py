@@ -1,0 +1,83 @@
+"""Pareto-front reduction over scored matrix cells.
+
+A config *dominates* another (for a scenario) when it is no worse on every
+objective and strictly better on at least one; the Pareto front is the set
+of non-dominated configs.  :func:`prune` applies hard constraints first
+(``{"latency_p50_ms_max": 5.0}``-style bounds), so callers can ask questions
+like "best recall among configs under 5 ms p50".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.utils.errors import ConfigurationError
+
+Record = Mapping[str, Any]
+
+
+def _oriented(value: float, objective: str) -> float:
+    """Map a metric value so that smaller is always better."""
+    return value if objective == "min" else -value
+
+
+def dominates(a: Record, b: Record, objectives: Mapping[str, str]) -> bool:
+    """Whether record ``a`` Pareto-dominates record ``b``.
+
+    Both records must carry every objective metric; the runner guarantees
+    this by intersecting objectives down to the metrics present in all of a
+    scenario's cells.
+    """
+    no_worse_everywhere = True
+    better_somewhere = False
+    for name, objective in objectives.items():
+        va = _oriented(float(a[name]), objective)
+        vb = _oriented(float(b[name]), objective)
+        if va > vb:
+            no_worse_everywhere = False
+            break
+        if va < vb:
+            better_somewhere = True
+    return no_worse_everywhere and better_somewhere
+
+
+def pareto_front(
+    records: Sequence[Record], objectives: Mapping[str, str]
+) -> list[Record]:
+    """The non-dominated subset of ``records``, input order preserved."""
+    if not objectives:
+        raise ConfigurationError("pareto_front requires at least one objective")
+    return [
+        record
+        for record in records
+        if not any(
+            dominates(other, record, objectives)
+            for other in records
+            if other is not record
+        )
+    ]
+
+
+def prune(records: Sequence[Record], constraints: Mapping[str, float]) -> list[Record]:
+    """Drop records violating ``<metric>_max`` / ``<metric>_min`` bounds."""
+    kept = list(records)
+    for key, bound in constraints.items():
+        if key.endswith("_max"):
+            metric, upper = key[: -len("_max")], True
+        elif key.endswith("_min"):
+            metric, upper = key[: -len("_min")], False
+        else:
+            raise ConfigurationError(
+                f"constraint {key!r} must end in '_max' or '_min'"
+            )
+        kept = [
+            record
+            for record in kept
+            if metric in record
+            and (
+                float(record[metric]) <= bound
+                if upper
+                else float(record[metric]) >= bound
+            )
+        ]
+    return kept

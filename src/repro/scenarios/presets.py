@@ -1,0 +1,87 @@
+"""Evidence-backed named deployment presets.
+
+Each preset is a full :class:`~repro.api.config.DiscoveryConfig` payload
+that appears verbatim as a cell of the scenario matrix's config grid
+(:mod:`repro.scenarios.runner`), so its trade-offs are *measured*, not
+asserted: ``BENCH_scenarios.json`` records, per preset, whether any other
+grid config dominates it on its target scenario's Pareto objectives.
+``DiscoveryConfig.preset(name)`` resolves these by name.
+
+* ``exact`` — flat exact search plus a result cache: recall 1.0 by
+  construction.  Target: ``near-duplicates``, where tiny score margins
+  make approximate prefilters pay in recall.
+* ``balanced`` — approximate cascade at a generous candidate budget plus a
+  result cache: the middle of the latency/recall trade, with the
+  exact-scoring set bounded.  Target: ``wide-tables``, where per-table
+  exact scoring is most expensive and the lake is large enough that the
+  budget actually prunes.
+* ``low-latency`` — approximate cascade at a tight candidate budget plus a
+  result cache: recall traded away knowingly for a hard-bounded scoring
+  set.  Target: ``wide-tables`` too — the tight-budget point on the same
+  front, fastest of the grid at the lowest declared recall.
+
+The targets are themselves measured, not aspirational: the initial
+targeting (``balanced`` -> ``uniform``, ``low-latency`` -> ``hot-queries``)
+was *refuted* by the matrix — with the result cache on, plain exact
+absorbs hot repeats better than any cascade, and on small cheap-to-score
+lakes the prefilter costs more than the scoring it saves — so the targets
+moved to the scenario whose measured front actually carries the cascade
+presets: the large wide-table lake where per-table scoring is expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.utils.errors import ConfigurationError
+
+#: Result-cache size shared by every preset's serving section.
+_CACHE = {"cache_size": 256}
+
+#: Preset name -> DiscoveryConfig payload (kept JSON-plain so presets
+#: round-trip through from_dict/to_dict with stable fingerprints).
+PRESETS: dict[str, dict[str, Any]] = {
+    "exact": {
+        "searcher": {"name": "overlap"},
+        "serving": dict(_CACHE),
+    },
+    "balanced": {
+        "searcher": {"name": "overlap"},
+        "serving": dict(_CACHE),
+        "cascade": {"mode": "approx", "candidate_budget": 32},
+    },
+    "low-latency": {
+        "searcher": {"name": "overlap"},
+        "serving": dict(_CACHE),
+        "cascade": {"mode": "approx", "candidate_budget": 12},
+    },
+}
+
+#: The scenario each preset is tuned for; the matrix gate checks the preset
+#: is non-dominated there.
+PRESET_TARGETS: dict[str, str] = {
+    "exact": "near-duplicates",
+    "balanced": "wide-tables",
+    "low-latency": "wide-tables",
+}
+
+
+def available_presets() -> list[str]:
+    """Names of every shipped preset, sorted."""
+    return sorted(PRESETS)
+
+
+def preset_payload(name: str) -> dict[str, Any]:
+    """The config payload of preset ``name`` (a fresh copy)."""
+    if not isinstance(name, str):
+        raise ConfigurationError(f"preset name must be a string, got {name!r}")
+    key = name.strip().lower()
+    if key not in PRESETS:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; available: {available_presets()}"
+        )
+    payload = PRESETS[key]
+    return {
+        section: dict(value) if isinstance(value, dict) else value
+        for section, value in payload.items()
+    }

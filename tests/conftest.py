@@ -1,8 +1,10 @@
-"""Test configuration.
+"""Test configuration: path setup and shared fixtures.
 
 Adds ``src/`` to ``sys.path`` so the test suite runs even when the package has
 not been pip-installed (useful in fully offline environments where editable
-installs require ``--no-build-isolation``).
+installs require ``--no-build-isolation``).  The shared lake/query factory
+helpers live in :mod:`testkit` (importable because ``tests/`` has no
+``__init__.py``); only fixtures belong here.
 """
 
 import sys
@@ -11,3 +13,15 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+import pytest  # noqa: E402
+
+from repro.benchgen import generate_tus_benchmark  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def tus_bench():
+    """A small TUS-style benchmark with ground truth (for the oracle)."""
+    return generate_tus_benchmark(
+        num_base_tables=4, base_rows=30, lake_tables_per_base=4, num_queries=2, seed=11
+    )

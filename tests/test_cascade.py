@@ -14,16 +14,15 @@ import json
 import math
 
 import pytest
+from testkit import BACKEND_FACTORIES, fresh_lake, rankings
 
 from repro.api import Discovery, DiscoveryConfig
 from repro.api.cli import main as cli_main
 from repro.benchgen import generate_tus_benchmark
-from repro.datalake import DataLake
 from repro.search import (
     CascadeSearcher,
     D3LSearcher,
     LSHPrefilter,
-    OracleSearcher,
     ProjectionPrefilter,
     SantosSearcher,
     StarmieSearcher,
@@ -32,34 +31,6 @@ from repro.search import (
 )
 from repro.serving import IndexStore
 from repro.utils.errors import ConfigurationError, SearchError
-
-
-@pytest.fixture(scope="module")
-def tus_bench():
-    """A small TUS-style benchmark with ground truth (for the oracle)."""
-    return generate_tus_benchmark(
-        num_base_tables=4, base_rows=30, lake_tables_per_base=4, num_queries=2, seed=11
-    )
-
-
-BACKEND_FACTORIES = {
-    "overlap": lambda bench: ValueOverlapSearcher(),
-    "starmie": lambda bench: StarmieSearcher(),
-    "d3l": lambda bench: D3LSearcher(),
-    "santos": lambda bench: SantosSearcher(),
-    "oracle": lambda bench: OracleSearcher(bench.ground_truth),
-}
-
-
-def fresh_lake(bench) -> DataLake:
-    return DataLake((table.copy() for table in bench.lake), name=bench.lake.name)
-
-
-def rankings(searcher, queries, k=8):
-    return [
-        [(hit.table_name, hit.score) for hit in searcher.search(query, k)]
-        for query in queries
-    ]
 
 
 # ------------------------------------------------------------------ prefilters

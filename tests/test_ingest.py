@@ -11,6 +11,7 @@ import urllib.error
 import urllib.request
 
 import pytest
+from testkit import make_lake, make_table
 
 import repro.datalake.lake as lake_module
 from repro.api.cli import main as cli_main
@@ -31,18 +32,6 @@ from repro.ingest import (
 from repro.serving.maintenance import ActivityGate, MaintenanceLoop
 from repro.serving.server import DiscoveryServer
 from repro.utils.errors import ConfigurationError, IngestError
-
-
-def make_table(name: str, seed: str = "x") -> Table:
-    return Table(
-        name=name,
-        columns=["city", "population"],
-        rows=[(f"{seed}ville{i}", str(1000 + i)) for i in range(6)],
-    )
-
-
-def make_lake(*names: str) -> DataLake:
-    return DataLake([make_table(name) for name in names], name="ingest-test")
 
 
 def add_event(name: str, seed: str = "x") -> TableEvent:

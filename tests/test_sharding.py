@@ -11,16 +11,20 @@ CLI's ``--shards``).
 """
 
 import pytest
+from testkit import (
+    BACKEND_FACTORIES,
+    fresh_lake,
+    make_table,
+    random_lake,
+    rankings,
+)
 
 import repro.datalake.lake as lake_module
 from repro.api import Discovery, DiscoveryConfig
 from repro.api.cli import main as cli_main
-from repro.benchgen import generate_tus_benchmark
 from repro.datalake import DataLake, LakePartitioner, LakeShard, Table
 from repro.search import (
-    D3LSearcher,
     OracleSearcher,
-    SantosSearcher,
     ShardedSearcher,
     StarmieSearcher,
     ValueOverlapSearcher,
@@ -42,60 +46,6 @@ from repro.utils.parallel import (
     resolve_parallelism,
 )
 from repro.utils.rng import seeded_rng
-
-
-@pytest.fixture(scope="module")
-def tus_bench():
-    """A small TUS-style benchmark with ground truth (for the oracle)."""
-    return generate_tus_benchmark(
-        num_base_tables=4, base_rows=30, lake_tables_per_base=4, num_queries=2, seed=11
-    )
-
-
-BACKEND_FACTORIES = {
-    "overlap": lambda bench: ValueOverlapSearcher(),
-    "starmie": lambda bench: StarmieSearcher(),
-    "d3l": lambda bench: D3LSearcher(),
-    "santos": lambda bench: SantosSearcher(),
-    "oracle": lambda bench: OracleSearcher(bench.ground_truth),
-}
-
-
-def make_table(name: str, seed: str = "x", rows: int = 6) -> Table:
-    return Table(
-        name=name,
-        columns=["city", "population"],
-        rows=[(f"{seed}ville{i}", str(1000 + i)) for i in range(rows)],
-    )
-
-
-def fresh_lake(bench) -> DataLake:
-    return DataLake((table.copy() for table in bench.lake), name=bench.lake.name)
-
-
-def rankings(searcher, queries, k=8):
-    return [
-        [(hit.table_name, hit.score) for hit in searcher.search(query, k)]
-        for query in queries
-    ]
-
-
-def random_lake(seed: int, num_tables: int = 14) -> DataLake:
-    """A random lake of small tables with varied shapes and shared vocabulary."""
-    rng = seeded_rng(seed)
-    tables = []
-    for index in range(num_tables):
-        num_columns = int(rng.integers(1, 4))
-        num_rows = int(rng.integers(2, 9))
-        columns = [f"col{c}" for c in range(num_columns)]
-        rows = [
-            tuple(
-                f"tok{int(rng.integers(0, 40))}" for _ in range(num_columns)
-            )
-            for _ in range(num_rows)
-        ]
-        tables.append(Table(name=f"rt{index}", columns=columns, rows=rows))
-    return DataLake(tables, name=f"random{seed}")
 
 
 # ----------------------------------------------------------------- partitioner
