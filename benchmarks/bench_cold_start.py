@@ -1,0 +1,233 @@
+"""Cold-start-to-first-query latency: lazy shard restore vs eager load-all.
+
+A restarted discovery process used to pay O(all shards) before serving: the
+sharded warm path restored every shard's persisted index entry eagerly, so
+readiness cost grew with lake size even when the first query only touched a
+handful of shards.  With the pluggable index-store backends
+(:mod:`repro.serving.backends`) the warm path defers per-shard restoration —
+``index()`` only verifies that every shard has a completed store entry, the
+cascade prefilter restores from its own persisted entry instead of refitting
+across all shards, and payload arrays are served through memory-mapped views
+so untouched bytes are never read.  The first query then materializes only
+the shards owning its candidates: cold start is O(touched shards).
+
+This benchmark measures cold-start-to-first-query — store handle + searcher
+construction, ``index()`` over an already-persisted lake, and one cascade
+query — across a 1x/4x/16x lake-size sweep for four variants: eager and lazy
+restoration on the ``directory`` backend, and the same pair on the ``sqlite``
+backend.  Correctness comes first: at every scale the first-query rankings
+(names *and* scores) of every variant must be bit-identical to the freshly
+built deployment before any timing is reported.
+
+Results are written to ``BENCH_coldstart.json`` at the repo root so the perf
+trajectory is machine-readable across PRs.  The default run gates on the
+acceptance criterion: at the 16x scale the lazy ``directory`` cold start must
+be >= 3x faster than the eager one.  The speedup is algorithmic (restoring
+the touched shards instead of all of them), not parallel, so no hardware
+calibration is needed.  ``--smoke`` shrinks the sweep to the 1x scale and
+disables the gate for the CI bench-smoke job, which must catch breakage, not
+timing noise.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_cold_start.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.benchgen import generate_tus_benchmark
+from repro.search import CascadeSearcher, ShardedSearcher, ValueOverlapSearcher
+from repro.serving.store import IndexStore
+
+#: Top-k retrieved by the first query.
+K = 6
+#: Prefilter candidates surviving to exact scoring — deliberately small so
+#: the first query's candidate owners cover a fraction of the shards; a
+#: budget near the lake size would touch every shard and measure nothing.
+CANDIDATE_BUDGET = 6
+#: Cold-start repetitions per variant (fresh store handle and searchers each
+#: time; the minimum is reported so scheduler hiccups do not skew ratios).
+REPS = 5
+
+#: Lake-size sweep: scale factor -> TUS generator shape plus the shard count
+#: of the persisted deployment.  Shards scale with the lake so the deferred
+#: fraction — the thing being measured — stays visible at every scale.
+SCALES = {
+    1: {"num_base_tables": 6, "lake_tables_per_base": 4, "base_rows": 40, "num_shards": 4},
+    4: {"num_base_tables": 12, "lake_tables_per_base": 8, "base_rows": 40, "num_shards": 12},
+    16: {"num_base_tables": 24, "lake_tables_per_base": 16, "base_rows": 80, "num_shards": 48},
+}
+
+#: (label, store backend, lazy_shards) — the eager directory variant is the
+#: baseline every speedup is reported against.
+VARIANTS = (
+    ("eager-directory", "directory", False),
+    ("lazy-directory", "directory", True),
+    ("eager-sqlite", "sqlite", False),
+    ("lazy-sqlite", "sqlite", True),
+)
+
+
+def make_store(root: Path, backend: str, lazy: bool) -> IndexStore:
+    # Eviction off: a deployment with num_shards entries per namespace must
+    # keep all of them across restarts.
+    return IndexStore(
+        root / backend,
+        backend=backend,
+        lazy_shards=lazy,
+        max_entries_per_backend=None,
+    )
+
+
+def make_deployment(store: IndexStore, num_shards: int) -> CascadeSearcher:
+    base = ShardedSearcher(
+        lambda: ValueOverlapSearcher(), num_shards=num_shards, store=store
+    )
+    return CascadeSearcher(base, mode="approx", candidate_budget=CANDIDATE_BUDGET)
+
+
+def first_query_ranking(searcher, query):
+    return [(hit.table_name, hit.score) for hit in searcher.search(query, K)]
+
+
+def timed_cold_start(root: Path, backend: str, lazy: bool, num_shards: int, lake, query):
+    """One full cold start: construct, warm ``index()``, first query."""
+    started = time.perf_counter()
+    store = make_store(root, backend, lazy)
+    deployment = make_deployment(store, num_shards)
+    deployment.index(lake)
+    ready = time.perf_counter()
+    ranking = first_query_ranking(deployment, query)
+    finished = time.perf_counter()
+    touched = num_shards - len(deployment.base.deferred_shards)
+    return {
+        "readiness_seconds": ready - started,
+        "first_query_seconds": finished - ready,
+        "total_seconds": finished - started,
+        "shards_touched": touched,
+        "ranking": ranking,
+    }
+
+
+def run_scale(scale, shape, root: Path):
+    shape = dict(shape)
+    num_shards = shape.pop("num_shards")
+    benchmark = generate_tus_benchmark(num_queries=1, seed=7, **shape)
+    lake, query = benchmark.lake, benchmark.query_tables[0]
+    print(
+        f"scale {scale:>2}x: {lake.num_tables} tables across {num_shards} shards, "
+        f"budget={CANDIDATE_BUDGET}"
+    )
+
+    # Seed both physical backends once (the cold build persists per-shard
+    # entries plus the cascade prefilter entry) and pin the reference
+    # ranking every restarted variant must reproduce bit-identically.
+    reference = None
+    for backend in ("directory", "sqlite"):
+        store = make_store(root, backend, False)
+        built = make_deployment(store, num_shards)
+        built.index(lake)
+        ranking = first_query_ranking(built, query)
+        if reference is None:
+            reference = ranking
+        assert ranking == reference, f"fresh {backend} build diverged from reference"
+
+    row = {"scale": scale, "num_tables": lake.num_tables, "num_shards": num_shards, "variants": {}}
+    header = (
+        f"{'variant':>16} {'ready (ms)':>11} {'query (ms)':>11} "
+        f"{'total (ms)':>11} {'touched':>8} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for label, backend, lazy in VARIANTS:
+        runs = [
+            timed_cold_start(root, backend, lazy, num_shards, lake, query)
+            for _ in range(REPS)
+        ]
+        for run in runs:
+            assert run["ranking"] == reference, (
+                f"{label} first-query ranking diverged from the fresh build"
+            )
+        best = min(runs, key=lambda run: run["total_seconds"])
+        if baseline is None:
+            baseline = best["total_seconds"]
+        speedup = baseline / best["total_seconds"] if best["total_seconds"] > 0 else float("inf")
+        row["variants"][label] = {
+            "backend": backend,
+            "lazy_shards": lazy,
+            "readiness_ms": best["readiness_seconds"] * 1000.0,
+            "first_query_ms": best["first_query_seconds"] * 1000.0,
+            "total_ms": best["total_seconds"] * 1000.0,
+            "shards_touched": best["shards_touched"],
+            "speedup_vs_eager_directory": speedup,
+        }
+        print(
+            f"{label:>16} {best['readiness_seconds'] * 1000.0:>11.2f} "
+            f"{best['first_query_seconds'] * 1000.0:>11.2f} "
+            f"{best['total_seconds'] * 1000.0:>11.2f} "
+            f"{best['shards_touched']:>5}/{num_shards:<2} {speedup:>7.2f}x"
+        )
+    print()
+    return row
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="1x scale only, no acceptance gate (CI bench-smoke mode)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_coldstart.json"),
+        help="where to write the machine-readable results (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    scales = {1: SCALES[1]} if args.smoke else SCALES
+    rows = []
+    for scale, shape in scales.items():
+        with tempfile.TemporaryDirectory(prefix="bench-coldstart-") as tmp:
+            rows.append(run_scale(scale, shape, Path(tmp)))
+    results = {
+        "benchmark": "tus-synthetic",
+        "k": K,
+        "candidate_budget": CANDIDATE_BUDGET,
+        "reps": REPS,
+        "smoke": bool(args.smoke),
+        "scales": rows,
+    }
+    max_scale = max(scales)
+    top = next(row for row in rows if row["scale"] == max_scale)
+    lazy_speedup = top["variants"]["lazy-directory"]["speedup_vs_eager_directory"]
+    results["acceptance"] = {
+        "max_scale": max_scale,
+        "gate": f"lazy directory cold start >= 3x faster than eager at {max_scale}x",
+        "lazy_directory_speedup": lazy_speedup,
+        "gated": not args.smoke,
+    }
+    Path(args.output).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    print("first-query rankings bit-identical across all variants at every scale")
+    if not args.smoke and lazy_speedup < 3.0:
+        raise SystemExit(
+            f"cold-start acceptance gate failed at {max_scale}x: lazy directory "
+            f"speedup {lazy_speedup:.2f}x < 3x"
+        )
+    if not args.smoke:
+        print(
+            f"acceptance: lazy directory cold start {lazy_speedup:.2f}x faster "
+            f"than eager at {max_scale}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

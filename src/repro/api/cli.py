@@ -114,18 +114,31 @@ def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store-backend",
+        choices=("directory", "sqlite"),
+        default=None,
+        help="override store.backend: how the index store persists entries "
+        "(directory tree or one WAL-mode SQLite file; default: config "
+        "value or directory)",
+    )
+
+
 def config_override_parent() -> argparse.ArgumentParser:
     """The one shared config-override flag set of ``search``/``warm``/``serve``.
 
     Every subcommand that builds a deployment inherits this parent, so the
-    identical ``--config``/``--cascade-*``/``--shards``/``--workers`` flags
-    mean the identical thing everywhere — :func:`_load_config` folds them
-    into the :class:`DiscoveryConfig` in one place.
+    identical ``--config``/``--cascade-*``/``--shards``/``--workers``/
+    ``--store-backend`` flags mean the identical thing everywhere —
+    :func:`_load_config` folds them into the :class:`DiscoveryConfig` in one
+    place.
     """
     parent = argparse.ArgumentParser(add_help=False)
     _add_config_option(parent)
     _add_cascade_options(parent)
     _add_sharding_options(parent)
+    _add_store_options(parent)
     return parent
 
 
@@ -149,6 +162,13 @@ def _sharding_overrides(args: argparse.Namespace) -> dict:
     return overrides
 
 
+def _store_overrides(args: argparse.Namespace) -> dict:
+    overrides: dict = {}
+    if getattr(args, "store_backend", None) is not None:
+        overrides["backend"] = args.store_backend
+    return overrides
+
+
 def _load_config(args: argparse.Namespace) -> DiscoveryConfig:
     if getattr(args, "config", None):
         config = DiscoveryConfig.from_file(args.config)
@@ -156,12 +176,15 @@ def _load_config(args: argparse.Namespace) -> DiscoveryConfig:
         config = DiscoveryConfig()
     cascade = _cascade_overrides(args)
     sharding = _sharding_overrides(args)
-    if cascade or sharding:
+    store = _store_overrides(args)
+    if cascade or sharding or store:
         payload = config.to_dict()
         if cascade:
             payload["cascade"] = {**(payload.get("cascade") or {}), **cascade}
         if sharding:
             payload["sharding"] = {**(payload.get("sharding") or {}), **sharding}
+        if store:
+            payload["store"] = {**(payload.get("store") or {}), **store}
         config = DiscoveryConfig.from_dict(payload)
     return config
 
@@ -367,11 +390,20 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
     config = _load_config(args)
     catalog = registry_catalog()
+    serving = config.serving or {}
+    store_stats = None
+    if serving.get("store_dir"):
+        from repro.serving.store import IndexStore
+
+        store_stats = IndexStore.from_config(
+            serving["store_dir"], config.store
+        ).stats()
     payload = {
         "version": __version__,
         **catalog,
         "config": config.to_dict(),
         "config_fingerprint": config.fingerprint(),
+        "store": store_stats,
     }
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -380,6 +412,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     for kind in catalog:
         print(f"  {kind.replace('_', ' '):<16}: {', '.join(payload[kind])}")
     print(f"  config fingerprint: {payload['config_fingerprint'][:16]}")
+    if store_stats is not None:
+        print(
+            f"  index store       : {store_stats['backend']} at "
+            f"{store_stats['location']} ({store_stats['entries']} entries, "
+            f"{store_stats['payload_bytes']} payload bytes)"
+        )
     print(f"  active config     : {json.dumps(payload['config'], sort_keys=True)}")
     return 0
 
@@ -557,12 +595,12 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     cascade = dict(config.cascade) if config.cascade is not None else {}
     benchmark = build_benchmark(args.benchmark, num_queries=args.num_queries, seed=args.seed)
     lake = benchmark.lake
-    store = IndexStore(args.store)
+    store = IndexStore.from_config(args.store, config.store)
     sharded = num_shards > 1
     print(
         f"warming {len(args.backends)} backend(s) over {args.benchmark!r} "
         f"({lake.num_tables} tables, {lake.num_rows} rows), "
-        f"store={store.root}"
+        f"store={store.root} [{store.backend_name}]"
         + (f", shards={num_shards}, workers={workers or 'auto'}" if sharded else "")
         + (f", cascade={cascade['mode']}" if cascade else "")
     )
@@ -602,7 +640,7 @@ def _cmd_warm(args: argparse.Namespace) -> int:
         action = "loaded" if cached else "built"
         print(
             f"  {backend:>8}: {action} in {elapsed:.3f}s -> "
-            f"{store.entry_dir(persisted, lake)}"
+            f"{store.describe_entry(persisted, lake)}"
         )
     return 0
 

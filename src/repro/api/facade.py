@@ -221,7 +221,7 @@ class Discovery:
         self._diversifier = self._build_diversifier(self.config.diversifier)
         serving = self.config.serving
         self._store = (
-            IndexStore(serving["store_dir"])
+            IndexStore.from_config(serving["store_dir"], self.config.store)
             if serving is not None and serving.get("store_dir")
             else None
         )
@@ -712,6 +712,7 @@ class Discovery:
             "ingest": self._ingest.stats if self._ingest is not None else None,
             "indexed_backends": sorted(self._searchers),
             "serving": self.config.serving is not None,
+            "store": self._store.stats() if self._store is not None else None,
             "num_shards": (
                 self.config.sharding["num_shards"]
                 if self.config.sharding is not None

@@ -126,6 +126,8 @@ BENCHMARKS = Registry("benchmark generator", modules=("repro.benchgen",))
 WORKLOADS = Registry("workload generator", modules=("repro.scenarios",))
 #: Scenario metrics scored over each (scenario, config) matrix cell.
 SCENARIO_METRICS = Registry("scenario metric", modules=("repro.scenarios",))
+#: Physical index-store backends (directory tree / SQLite database).
+STORE_BACKENDS = Registry("store backend", modules=("repro.serving.backends",))
 
 
 def register_searcher(name: str) -> Callable[[T], T]:
@@ -163,6 +165,11 @@ def register_scenario_metric(name: str) -> Callable[[T], T]:
     return SCENARIO_METRICS.register(name)
 
 
+def register_store_backend(name: str) -> Callable[[T], T]:
+    """Register a :class:`~repro.serving.backends.base.StoreBackend` subclass."""
+    return STORE_BACKENDS.register(name)
+
+
 def available_searchers() -> list[str]:
     """Names of every registered table union searcher."""
     return SEARCHERS.names()
@@ -198,6 +205,11 @@ def available_scenario_metrics() -> list[str]:
     return SCENARIO_METRICS.names()
 
 
+def available_store_backends() -> list[str]:
+    """Names of every registered index-store backend."""
+    return STORE_BACKENDS.names()
+
+
 def registry_catalog() -> dict[str, list[str]]:
     """Every registry's implementation names, keyed by component family.
 
@@ -213,4 +225,5 @@ def registry_catalog() -> dict[str, list[str]]:
         "benchmarks": available_benchmarks(),
         "workloads": available_workloads(),
         "scenario_metrics": available_scenario_metrics(),
+        "store_backends": available_store_backends(),
     }

@@ -39,6 +39,8 @@ the measured recall trade-off (``benchmarks/bench_cascade.py``).
 from __future__ import annotations
 
 import abc
+import hashlib
+import json
 import time
 from typing import Iterable, Mapping, Sequence
 
@@ -49,7 +51,7 @@ from repro.datalake.table import Table
 from repro.search.base import IndexState, SearchResult, TableUnionSearcher
 from repro.search.minhash import MinHashLSHIndex, MinHashSignature
 from repro.search.overlap import column_token_set
-from repro.utils.errors import SearchError
+from repro.utils.errors import SearchError, ServingError
 from repro.vectorops import EmbeddingMatrix
 
 
@@ -329,6 +331,73 @@ class ProjectionPrefilter(CandidatePrefilter):
 PREFILTER_NAMES = ("auto", "lsh", "projection")
 
 
+class CascadePrefilterEntry:
+    """Store adapter persisting a cascade's fitted prefilter as its own entry.
+
+    A cascade over a self-persisting base (a sharded searcher with per-shard
+    store entries) must not be saved monolithically — but without a persisted
+    prefilter every warm start refits it, which walks *every* shard and
+    defeats the O(touched-shards) lazy restore.  This adapter exposes just
+    enough of the :class:`TableUnionSearcher` persistence surface
+    (``config_state``/``config_fingerprint``/``index_state``/
+    ``load_index_state``/``INDEX_FORMAT_VERSION``) for
+    :class:`~repro.serving.store.IndexStore` to treat the fitted prefilter as
+    a first-class entry in its own ``CascadePrefilterEntry-*`` namespace.
+
+    The config fingerprint is keyed on the *configured* prefilter name (so an
+    ``auto`` cascade and an explicit one do not share entries) plus every
+    prefilter parameter and the base searcher's config fingerprint; the
+    persisted state records the *resolved* prefilter name, so restoring an
+    ``auto`` cascade never has to probe the base's embedding hooks — probing
+    would materialize every deferred shard and forfeit the lazy cold start.
+    """
+
+    INDEX_FORMAT_VERSION = 1
+
+    def __init__(self, cascade: "CascadeSearcher") -> None:
+        self._cascade = cascade
+
+    def config_state(self) -> dict:
+        cascade = self._cascade
+        return {
+            "base_fingerprint": cascade.base.config_fingerprint(),
+            "prefilter": cascade.prefilter_name,
+            "projection_dim": cascade.projection_dim,
+            "num_hashes": cascade.num_hashes,
+            "num_bands": cascade.num_bands,
+            "seed": cascade.seed,
+        }
+
+    def config_fingerprint(self) -> str:
+        payload = json.dumps(
+            {
+                "class": type(self).__name__,
+                "format": self.INDEX_FORMAT_VERSION,
+                "config": self.config_state(),
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def index_state(self) -> IndexState:
+        prefilter = self._cascade.prefilter
+        pre_state, pre_arrays = prefilter.state()
+        return {"prefilter_name": prefilter.name, "prefilter": pre_state}, dict(
+            pre_arrays
+        )
+
+    def load_index_state(
+        self, lake: DataLake, state: dict, arrays: Mapping[str, np.ndarray]
+    ) -> "CascadePrefilterEntry":
+        cascade = self._cascade
+        prefilter = cascade._make_prefilter(state["prefilter_name"])
+        prefilter.load_state(state["prefilter"], dict(arrays))
+        prefilter.bind(cascade.base)
+        cascade._prefilter = prefilter
+        return self
+
+
 class CascadeSearcher(TableUnionSearcher):
     """Wraps a backend with the approximate-prefilter / exact-fallback cascade.
 
@@ -450,19 +519,59 @@ class CascadeSearcher(TableUnionSearcher):
             and self.base._indexed_table_fps == lake.table_fingerprints()
         )
 
+    def _prefilter_store(self):
+        """The base's index store, when the base persists itself per shard.
+
+        Only a self-persisting base leaves the cascade un-persisted (see
+        :attr:`manages_own_persistence`) — that is exactly when the fitted
+        prefilter needs its own store entry to survive restarts.
+        """
+        if not self.base.manages_own_persistence:
+            return None
+        return getattr(self.base, "store", None)
+
+    def _restore_prefilter(self, lake: DataLake) -> bool:
+        """Adopt a persisted prefilter entry; ``False`` means fit instead."""
+        store = self._prefilter_store()
+        if store is None:
+            return False
+        try:
+            store.load(CascadePrefilterEntry(self), lake)
+        except ServingError:
+            # Miss, config/lake drift, or corruption: a fresh fit (and the
+            # re-persist that follows) heals all of them.
+            return False
+        return True
+
+    def _persist_prefilter(self, lake: DataLake) -> None:
+        store = self._prefilter_store()
+        if store is None:
+            return
+        try:
+            store.save(CascadePrefilterEntry(self), lake)
+        except (SearchError, ServingError):
+            pass  # persistence is an optimization; serving continues fitted
+
     def _build_index(self, lake: DataLake) -> None:
         # An already-bound, content-identical base is adopted as-is: the warm
         # CLI builds the base through build_sharded() first and wrapping it
         # must not pay a second full index build.
         if not self._base_in_sync(lake):
             self.base.index(lake)
+        # A persisted prefilter short-circuits the fit — fitting touches
+        # every shard, which would forfeit a lazily restored base's
+        # O(touched-shards) cold start.
+        if self._restore_prefilter(lake):
+            return
         self._fit_prefilter(lake)
+        self._persist_prefilter(lake)
 
     def _apply_index_delta(self, added: list[Table], removed: list[str]) -> None:
         self.base.update_index(added=added, removed=removed)
         # Prefilter structures are cheap aggregates; refitting from the
         # updated base index keeps them exact without a delta protocol.
         self._fit_prefilter(self.base.lake)
+        self._persist_prefilter(self.base.lake)
 
     @property
     def manages_own_persistence(self) -> bool:

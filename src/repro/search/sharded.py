@@ -38,6 +38,7 @@ bit-identical to one flat index.
 from __future__ import annotations
 
 import os
+import threading
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.datalake.lake import DataLake
@@ -369,6 +370,13 @@ class ShardedSearcher(TableUnionSearcher):
         #: silently undo the rebalance.
         self._assignment: dict[str, int] | None = None
         self._assignment_shards: int = self.partitioner.num_shards
+        #: Shards whose restoration is deferred until first touch: shard id
+        #: -> the shard content fingerprints the warm store entry covers.
+        #: Populated by :meth:`_build_index` when every non-empty shard has a
+        #: warm store entry (see :meth:`_can_defer_restore`); drained by
+        #: :meth:`_materialize_shard` as queries/refreshes touch shards.
+        self._deferred: dict[int, dict[str, str]] = {}
+        self._restore_lock = threading.Lock()
 
     # ------------------------------------------------------------- properties
     @property
@@ -384,8 +392,13 @@ class ShardedSearcher(TableUnionSearcher):
 
     @property
     def shard_searchers(self) -> list[TableUnionSearcher | None]:
-        """Per-shard backend instances (``None`` for empty shards)."""
+        """Per-shard backend instances (``None`` for empty or deferred shards)."""
         return list(self._shard_searchers)
+
+    @property
+    def deferred_shards(self) -> list[int]:
+        """Shard ids whose restoration is still pending first touch."""
+        return sorted(self._deferred)
 
     @property
     def manages_own_persistence(self) -> bool:
@@ -443,11 +456,68 @@ class ShardedSearcher(TableUnionSearcher):
             lake, [searcher for searcher in searchers if searcher is not None]
         )
 
+    def _can_defer_restore(
+        self, jobs: list[int], shard_lakes: list[DataLake]
+    ) -> bool:
+        """Whether restoration can defer per-shard loads until first touch.
+
+        All-or-nothing, and only when deferral is provably equivalent to the
+        eager path: a store with ``lazy_shards`` enabled, a shard-local
+        backend whose ``finalize_shard_group`` is the no-op default (Starmie
+        aligns a lake-global TF-IDF fit across live shard searchers at adopt
+        time, the oracle re-validates — both need every searcher live), and
+        a warm store entry for **every** non-empty shard, so no deferred
+        touch can silently turn into a full shard build.
+        """
+        if (
+            self.store is None
+            or not getattr(self.store, "lazy_shards", False)
+            or not self._prototype.SHARD_LOCAL_INDEX
+            or type(self._prototype).finalize_shard_group
+            is not TableUnionSearcher.finalize_shard_group
+            or len(jobs) <= 1
+        ):
+            return False
+        return all(
+            self.store.contains(self._prototype, shard_lakes[shard_id])
+            for shard_id in jobs
+        )
+
+    def _materialize_shard(self, shard_id: int) -> TableUnionSearcher | None:
+        """The shard's live searcher, restoring a deferred one on first touch."""
+        searcher = self._shard_searchers[shard_id]
+        if searcher is not None or shard_id not in self._deferred:
+            return searcher
+        with self._restore_lock:
+            searcher = self._shard_searchers[shard_id]
+            if searcher is not None:  # lost the race: another thread restored it
+                return searcher
+            searcher = self.factory()
+            self.store.load_or_build(searcher, self._shard_lakes[shard_id])
+            self._shard_searchers[shard_id] = searcher
+            self._deferred.pop(shard_id, None)
+            return searcher
+
+    def _materialize_all(self) -> None:
+        for shard_id in sorted(self._deferred):
+            self._materialize_shard(shard_id)
+
     def _build_index(self, lake: DataLake) -> None:
         shards = self._partition(lake)
         shard_lakes = [shard.to_lake() for shard in shards]
         searchers: list[TableUnionSearcher | None] = [None] * len(shards)
         jobs = [i for i, shard_lake in enumerate(shard_lakes) if shard_lake.num_tables]
+        if self._can_defer_restore(jobs, shard_lakes):
+            # Fully warm store: adopt the partition with every shard slot
+            # empty and restore each shard from its entry on first touch —
+            # cold start becomes O(touched shards) instead of O(lake).
+            self._deferred = {
+                shard_id: shard_lakes[shard_id].table_fingerprints()
+                for shard_id in jobs
+            }
+            self._adopt_partition(lake, shards, shard_lakes, searchers)
+            return
+        self._deferred = {}
         for shard_id in jobs:
             searchers[shard_id] = self.factory()
         states = _build_partials(
@@ -483,6 +553,7 @@ class ShardedSearcher(TableUnionSearcher):
         shards = self._partition(lake)
         shard_lakes = [shard.to_lake() for shard in shards]
         searchers: list[TableUnionSearcher | None] = [None] * len(shards)
+        new_deferred: dict[int, dict[str, str]] = {}
         for shard_id, shard_lake in enumerate(shard_lakes):
             previous = (
                 self._shard_searchers[shard_id]
@@ -490,6 +561,18 @@ class ShardedSearcher(TableUnionSearcher):
                 else None
             )
             if shard_lake.num_tables == 0:
+                continue
+            if previous is None and shard_id in self._deferred:
+                if self._deferred[shard_id] == shard_lake.table_fingerprints():
+                    # Deferred shard the mutation never touched: stay
+                    # deferred — a refresh costs O(touched shards) too.
+                    new_deferred[shard_id] = self._deferred[shard_id]
+                    continue
+                # Deferred shard whose content drifted: restore through the
+                # store's exact/delta path (which persists the new entry).
+                searcher = self.factory()
+                self.store.load_or_build(searcher, shard_lake)
+                searchers[shard_id] = searcher
                 continue
             if (
                 previous is not None
@@ -509,6 +592,7 @@ class ShardedSearcher(TableUnionSearcher):
                     except SearchError:
                         pass
             searchers[shard_id] = searcher
+        self._deferred = new_deferred
         self._adopt_partition(lake, shards, shard_lakes, searchers)
 
     # ------------------------------------------------------------- rebalancing
@@ -572,6 +656,10 @@ class ShardedSearcher(TableUnionSearcher):
                 "moved": 0,
                 "shards_rebuilt": 0,
             }
+        # Rebalancing reassigns tables across shard searchers, so every
+        # still-deferred shard must be live before passes 1 and 2 inspect
+        # their indexed fingerprints.
+        self._materialize_all()
         # A changed shard count re-seeds by stable name hash (the layout new
         # tables will route to anyway); an unchanged count starts from the
         # current assignment so the balancer moves as little as possible.
@@ -672,6 +760,7 @@ class ShardedSearcher(TableUnionSearcher):
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
         self.lake  # raises before index()
+        self._materialize_all()  # full fan-out touches every shard
         merged: list[SearchResult] = []
         for searcher in self._shard_searchers:
             if searcher is not None:
@@ -685,11 +774,12 @@ class ShardedSearcher(TableUnionSearcher):
     def _score_table(self, query_table, lake_table) -> float:
         """Delegate to the shard index holding ``lake_table``."""
         shard_id = self._shard_of_table.get(lake_table.name)
-        if shard_id is None or self._shard_searchers[shard_id] is None:
+        searcher = self._materialize_shard(shard_id) if shard_id is not None else None
+        if searcher is None:
             raise SearchError(
                 f"table {lake_table.name!r} is not covered by any shard index"
             )
-        return self._shard_searchers[shard_id]._score_table(query_table, lake_table)
+        return searcher._score_table(query_table, lake_table)
 
     # ------------------------------------------------------- cascade prefilter
     def score_candidates(self, query_table, names) -> dict[str, float]:
@@ -704,15 +794,20 @@ class ShardedSearcher(TableUnionSearcher):
         by_shard: dict[int, list[str]] = {}
         for name in unique:
             shard_id = self._shard_of_table.get(name)
-            if shard_id is None or self._shard_searchers[shard_id] is None:
+            if shard_id is None or (
+                self._shard_searchers[shard_id] is None
+                and shard_id not in self._deferred
+            ):
                 raise SearchError(
                     f"candidate table {name!r} is not in the indexed lake"
                 )
             by_shard.setdefault(shard_id, []).append(name)
         scores: dict[str, float] = {}
+        # Only owner shards materialize — on a warm deferred deployment this
+        # is the O(touched shards) cold-start path the cascade queries ride.
         for shard_id, shard_names in by_shard.items():
             scores.update(
-                self._shard_searchers[shard_id].score_candidates(
+                self._materialize_shard(shard_id).score_candidates(
                     query_table, shard_names
                 )
             )
@@ -721,6 +816,7 @@ class ShardedSearcher(TableUnionSearcher):
     def prefilter_table_vectors(self):
         """Union of the shard searchers' vectors (``None`` if any shard lacks
         them — the cascade then falls back to the LSH prefilter uniformly)."""
+        self._materialize_all()  # a prefilter fit covers every shard
         merged: dict = {}
         for searcher in self._shard_searchers:
             if searcher is None:
@@ -732,7 +828,8 @@ class ShardedSearcher(TableUnionSearcher):
         return merged or None
 
     def prefilter_query_vector(self, query_table):
-        for searcher in self._shard_searchers:
+        for shard_id in range(len(self._shard_searchers)):
+            searcher = self._materialize_shard(shard_id)
             if searcher is not None:
                 # Query embeddings match across shards: stateless encoders
                 # everywhere, and finalize_shard_group aligns Starmie's fit.
@@ -742,6 +839,7 @@ class ShardedSearcher(TableUnionSearcher):
     def prefilter_minhash_signatures(self, num_hashes: int, seed: int):
         """Union of the shard searchers' table signatures (signatures are pure
         functions of one table's token sets, so shard-local ones are exact)."""
+        self._materialize_all()  # a prefilter fit covers every shard
         merged: dict = {}
         for searcher in self._shard_searchers:
             if searcher is None:

@@ -1,0 +1,24 @@
+"""Pluggable physical storage backends for :class:`~repro.serving.store.IndexStore`.
+
+Importing this package runs the ``@register_store_backend`` decorators, so
+the :data:`~repro.api.registry.STORE_BACKENDS` registry lists every
+implementation after its lazy module import.
+"""
+
+from repro.serving.backends.base import (
+    ARRAYS_PAYLOAD,
+    STATE_PAYLOAD,
+    MappedArrayPayload,
+    StoreBackend,
+)
+from repro.serving.backends.directory import DirectoryStoreBackend
+from repro.serving.backends.sqlite import SQLiteStoreBackend
+
+__all__ = [
+    "ARRAYS_PAYLOAD",
+    "STATE_PAYLOAD",
+    "MappedArrayPayload",
+    "StoreBackend",
+    "DirectoryStoreBackend",
+    "SQLiteStoreBackend",
+]

@@ -3,21 +3,33 @@
 Every :class:`~repro.search.base.TableUnionSearcher` can dump its built index
 as a JSON metadata dict plus named numpy arrays (``index_state()``) and
 restore it without touching the lake's cell values (``load_index_state()``).
-:class:`IndexStore` persists those dumps on disk so a data lake is indexed
-once and reused across runs *and* processes:
+:class:`IndexStore` persists those dumps so a data lake is indexed once and
+reused across runs *and* processes.
 
-```
-<root>/
-  <Backend>-<config_fp12>/          one directory per (class, config, format)
-    <lake_fp16>/                    one entry per lake content fingerprint
-      state.json                    JSON metadata payload
-      arrays.npz                    numpy payloads
-      manifest.json                 versions, fingerprints, payload checksums
-```
+The store owns the logical semantics — content keying, the manifest schema,
+miss-vs-corruption error taxonomy, delta anchoring, eviction policy — and
+delegates physical persistence to a pluggable
+:class:`~repro.serving.backends.base.StoreBackend` selected by name:
 
-The manifest is written last, so a crashed save never produces a loadable
-entry; both payload files are checksum-validated on load and any mismatch is
-reported as corruption rather than silently served.
+* ``directory`` (default) — the original one-directory-per-entry layout::
+
+      <root>/
+        <Backend>-<config_fp12>/      one namespace per (class, config, format)
+          <lake_fp16>/                one entry per lake content fingerprint
+            state.json                JSON metadata payload
+            arrays.npz                numpy payloads
+            manifest.json             versions, fingerprints, payload checksums
+
+* ``sqlite`` — the same entries as rows of one WAL-mode database file, for
+  shared storage and concurrent multi-process readers.
+
+Every backend commits the manifest last (directory: atomic rename; sqlite:
+one transaction), so a crashed save never produces a loadable entry; both
+payloads are checksum-validated on load and any mismatch is reported as
+corruption rather than silently served.  On the read path arrays come back
+as *lazy* views (memory-mapped npz members on the directory backend), so
+restoring an index only faults in the bytes its ``load_index_state``
+actually decodes.
 
 Each manifest also records the lake's per-table content fingerprints, which
 makes the store **delta-aware**: when a mutated lake misses every entry,
@@ -31,28 +43,26 @@ only the changed tables.
 from __future__ import annotations
 
 import hashlib
-import json
-import os
-import shutil
+import time
 from pathlib import Path
-
-import numpy as np
 
 from repro.datalake.lake import DataLake
 from repro.search.base import TableUnionSearcher
 from repro.utils.errors import IndexStoreMiss, SearchError, ServingError
 
 #: Bump when the on-disk layout of store entries changes.  (The
-#: ``table_fingerprints`` manifest field is additive: entries written without
-#: it still load exactly, they just cannot anchor delta updates.)
+#: ``table_fingerprints`` and ``last_access`` manifest fields are additive:
+#: entries written without them still load exactly, they just cannot anchor
+#: delta updates / recency-ordered eviction.)
 STORE_FORMAT_VERSION = 1
-
-_MANIFEST = "manifest.json"
-_STATE = "state.json"
-_ARRAYS = "arrays.npz"
 
 
 def _file_checksum(path: Path) -> str:
+    """Streaming sha256 of one payload file, in fixed 1 MiB chunks.
+
+    The canonical checksum helper for file-based backends: large npz
+    payloads hash at constant memory instead of being read whole.
+    """
     hasher = hashlib.sha256()
     with path.open("rb") as handle:
         for chunk in iter(lambda: handle.read(1 << 20), b""):
@@ -61,7 +71,15 @@ def _file_checksum(path: Path) -> str:
 
 
 class IndexStore:
-    """A directory of persisted search indexes keyed by backend and lake.
+    """Persisted search indexes keyed by backend config and lake content.
+
+    ``backend`` names the physical storage implementation from the
+    :data:`~repro.api.registry.STORE_BACKENDS` registry (``"directory"`` or
+    ``"sqlite"``); ``path``, ``pool_size`` and ``mmap`` are forwarded to its
+    constructor.  ``lazy_shards`` is advisory state read by
+    :class:`~repro.search.sharded.ShardedSearcher`: when set (the default),
+    a fully warm store lets sharded restoration defer per-shard loading
+    until a shard is first touched.
 
     ``max_delta_fraction`` bounds when :meth:`load_or_build` prefers updating
     a prior snapshot over rebuilding: a delta is applied only when it touches
@@ -71,14 +89,20 @@ class IndexStore:
     ``max_entries_per_backend`` bounds disk growth under continuous lake
     mutation: every refresh persists a full entry for the new lake content,
     so without a bound a long-lived deployment would accumulate one snapshot
-    per content version forever.  :meth:`save` evicts the oldest superseded
-    entries of the same backend beyond the bound (``None`` disables eviction).
+    per content version forever.  :meth:`save` evicts the
+    least-recently-accessed superseded entries of the same backend beyond
+    the bound (``None`` disables eviction).
     """
 
     def __init__(
         self,
         root: str | Path,
         *,
+        backend: str = "directory",
+        path: str | Path | None = None,
+        pool_size: int = 4,
+        mmap: bool = True,
+        lazy_shards: bool = True,
         max_delta_fraction: float = 0.5,
         max_entries_per_backend: int | None = 8,
     ) -> None:
@@ -94,44 +118,94 @@ class IndexStore:
         self.root = Path(root)
         self.max_delta_fraction = max_delta_fraction
         self.max_entries_per_backend = max_entries_per_backend
+        self.lazy_shards = bool(lazy_shards)
+        # Imported lazily: repro.api's package __init__ pulls in modules that
+        # import this one, so a module-level registry import could observe a
+        # partially initialized repro.serving.store.
+        from repro.api.registry import STORE_BACKENDS
+
+        self._backend = STORE_BACKENDS.create(
+            backend, root=self.root, path=path, pool_size=pool_size, mmap=mmap
+        )
+
+    @classmethod
+    def from_config(
+        cls, root: str | Path, section: dict | None = None, **overrides
+    ) -> IndexStore:
+        """Build a store from a validated ``store`` config section.
+
+        ``section`` is the (already defaulted) ``DiscoveryConfig.store``
+        dict; ``None`` means all defaults.  Shared by the facade and the
+        ``warm`` CLI so both construct identically-behaving stores.
+        """
+        section = dict(section or {})
+        return cls(
+            root,
+            backend=section.get("backend", "directory"),
+            path=section.get("path"),
+            pool_size=section.get("pool_size", 4),
+            mmap=section.get("mmap", True),
+            lazy_shards=section.get("lazy_shards", True),
+            **overrides,
+        )
 
     # ------------------------------------------------------------- addressing
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active physical backend."""
+        return self._backend.name
+
+    def _backend_key(self, searcher: TableUnionSearcher) -> str:
+        return f"{type(searcher).__name__}-{searcher.config_fingerprint()[:12]}"
+
+    def _entry_key(self, lake: DataLake) -> str:
+        return lake.fingerprint()[:16]
+
     def backend_dir(self, searcher: TableUnionSearcher) -> Path:
-        """Directory holding every persisted lake entry of one backend config."""
-        return self.root / f"{type(searcher).__name__}-{searcher.config_fingerprint()[:12]}"
+        """Logical directory holding every persisted lake entry of one config.
+
+        A real directory only on the ``directory`` backend; other backends
+        use the same path as a virtual namespace.
+        """
+        return self.root / self._backend_key(searcher)
 
     def entry_dir(self, searcher: TableUnionSearcher, lake: DataLake) -> Path:
-        """Directory holding the persisted index of ``searcher`` over ``lake``."""
-        return self.backend_dir(searcher) / lake.fingerprint()[:16]
+        """Logical directory of the persisted index of ``searcher`` over ``lake``."""
+        return self.backend_dir(searcher) / self._entry_key(lake)
+
+    def describe_entry(self, searcher: TableUnionSearcher, lake: DataLake) -> str:
+        """The entry's physical address, as the active backend renders it."""
+        return self._backend.entry_location(
+            self._backend_key(searcher), self._entry_key(lake)
+        )
 
     def contains(self, searcher: TableUnionSearcher, lake: DataLake) -> bool:
         """Whether a completed entry exists (no payload validation)."""
-        return (self.entry_dir(searcher, lake) / _MANIFEST).is_file()
+        return self._backend.has_entry(
+            self._backend_key(searcher), self._entry_key(lake)
+        )
+
+    def stats(self) -> dict:
+        """Occupancy of the physical backend, for ``info`` surfaces.
+
+        Keys: ``backend`` (registry name), ``location``, ``backends``
+        (config namespaces), ``entries`` and ``payload_bytes`` — what a cold
+        start would have to touch if it loaded everything eagerly.
+        """
+        return self._backend.stats()
 
     # ------------------------------------------------------------------- save
     def save(
         self, searcher: TableUnionSearcher, lake: DataLake | None = None
     ) -> Path:
-        """Persist ``searcher``'s built index; returns the entry directory.
+        """Persist ``searcher``'s built index; returns the logical entry dir.
 
-        Payload files are written first and the manifest last, so concurrent
-        or crashed writers can never leave a manifest pointing at missing
-        payloads.  Saving over an existing entry replaces it.
+        Payloads are committed before the manifest becomes visible, so
+        concurrent or crashed writers can never leave a manifest pointing at
+        missing payloads.  Saving over an existing entry replaces it.
         """
         lake = lake if lake is not None else searcher.lake
         state, arrays = searcher.index_state()
-        entry = self.entry_dir(searcher, lake)
-        entry.mkdir(parents=True, exist_ok=True)
-
-        manifest_path = entry / _MANIFEST
-        if manifest_path.exists():  # invalidate the old entry while replacing
-            manifest_path.unlink()
-
-        state_path, arrays_path = entry / _STATE, entry / _ARRAYS
-        state_path.write_text(json.dumps(state, sort_keys=True))
-        with arrays_path.open("wb") as handle:
-            np.savez(handle, **arrays)
-
         manifest = {
             "store_format": STORE_FORMAT_VERSION,
             "backend_class": type(searcher).__name__,
@@ -141,70 +215,66 @@ class IndexStore:
             "lake_fingerprint": lake.fingerprint(),
             "table_fingerprints": lake.table_fingerprints(),
             "num_tables": lake.num_tables,
-            "checksums": {
-                _STATE: _file_checksum(state_path),
-                _ARRAYS: _file_checksum(arrays_path),
-            },
+            "last_access": time.time(),
         }
-        tmp_path = entry / f"{_MANIFEST}.tmp"
-        tmp_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-        os.replace(tmp_path, manifest_path)
-        self._evict_superseded(entry)
-        return entry
+        self._backend.write_entry(
+            self._backend_key(searcher),
+            self._entry_key(lake),
+            state=state,
+            arrays=arrays,
+            manifest=manifest,
+        )
+        self._evict_superseded(searcher, lake)
+        return self.entry_dir(searcher, lake)
 
-    def _evict_superseded(self, latest_entry: Path) -> None:
-        """Keep the newest ``max_entries_per_backend`` entries of one backend.
+    def _evict_superseded(self, searcher: TableUnionSearcher, lake: DataLake) -> None:
+        """Keep the freshest ``max_entries_per_backend`` entries of one backend.
 
         Called after every save so a continuously mutating lake cannot grow
         the store without bound — superseded lake-content snapshots beyond
-        the bound are removed oldest-first (by manifest mtime), never the
-        entry just written.  Best-effort: eviction failures are ignored so a
+        the bound are removed least-recently-accessed first, never the entry
+        just written.  Best-effort: eviction failures are ignored so a
         read-only race never breaks a save.
         """
         if self.max_entries_per_backend is None:
             return
-        aged: list[tuple[float, Path]] = []
-        for manifest_path in latest_entry.parent.glob(f"*/{_MANIFEST}"):
-            if manifest_path.parent == latest_entry:
-                continue
-            try:
-                aged.append((manifest_path.stat().st_mtime, manifest_path.parent))
-            except OSError:
-                continue
+        backend_key = self._backend_key(searcher)
+        keep = self._entry_key(lake)
+        aged = [
+            stamped
+            for stamped in self._backend.list_entries(backend_key)
+            if stamped[1] != keep
+        ]
         excess = len(aged) + 1 - self.max_entries_per_backend
         for _, stale in sorted(aged)[:excess] if excess > 0 else []:
-            shutil.rmtree(stale, ignore_errors=True)
+            self._backend.delete_entry(backend_key, stale)
 
     def evict_cold(self, max_entries: int | None = None) -> int:
-        """Trim every backend directory to its newest ``max_entries`` entries.
+        """Trim every backend namespace to its freshest ``max_entries`` entries.
 
         The maintenance-loop complement of the per-save eviction: a
         long-lived server accumulates superseded lake-content snapshots
         (every refresh persists a full entry), and this sweeps *all* backend
-        directories in one pass — including those whose searchers are no
-        longer being saved to at all.  ``max_entries`` defaults to the
-        store's ``max_entries_per_backend``; with both unset the sweep is a
-        no-op (an unbounded store stays unbounded).  Returns the number of
-        entries removed.  Best-effort like :meth:`_evict_superseded`:
+        namespaces in one pass — including those whose searchers are no
+        longer being saved to at all.  Ordering uses the manifest-recorded
+        ``last_access`` stamp where present (loads refresh it even when the
+        payload bytes are only ever memory-mapped), falling back to the
+        physical mtime for pre-stamp entries.  ``max_entries`` defaults to
+        the store's ``max_entries_per_backend``; with both unset the sweep
+        is a no-op (an unbounded store stays unbounded).  Returns the number
+        of entries removed.  Best-effort like :meth:`_evict_superseded`:
         removal failures are skipped, never raised.
         """
         bound = max_entries if max_entries is not None else self.max_entries_per_backend
-        if bound is None or bound < 1 or not self.root.is_dir():
+        if bound is None or bound < 1:
             return 0
         removed = 0
-        for backend_dir in sorted(self.root.iterdir()):
-            if not backend_dir.is_dir():
-                continue
-            aged: list[tuple[float, Path]] = []
-            for manifest_path in backend_dir.glob(f"*/{_MANIFEST}"):
-                try:
-                    aged.append((manifest_path.stat().st_mtime, manifest_path.parent))
-                except OSError:
-                    continue
-            # Newest entries survive; mtime ties keep every tied entry.
+        for backend_key in self._backend.list_backend_keys():
+            aged = self._backend.list_entries(backend_key)
+            # Freshest entries survive; stamp ties keep every tied entry.
             for _, stale in sorted(aged)[: max(0, len(aged) - bound)]:
-                shutil.rmtree(stale, ignore_errors=True)
-                removed += 1
+                if self._backend.delete_entry(backend_key, stale):
+                    removed += 1
         return removed
 
     # ------------------------------------------------------------------- load
@@ -217,17 +287,15 @@ class IndexStore:
         written for a different format/config/lake) and :class:`ServingError`
         when an entry exists but fails checksum validation.
         """
+        backend_key = self._backend_key(searcher)
+        entry_key = self._entry_key(lake)
         entry = self.entry_dir(searcher, lake)
-        manifest_path = entry / _MANIFEST
-        if not manifest_path.is_file():
+        manifest = self._backend.read_manifest(backend_key, entry_key)
+        if manifest is None:
             raise IndexStoreMiss(
                 f"no persisted {type(searcher).__name__} index for lake "
                 f"{lake.name!r} under {self.root}"
             )
-        try:
-            manifest = json.loads(manifest_path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ServingError(f"unreadable index manifest {manifest_path}") from exc
 
         if manifest.get("store_format") != STORE_FORMAT_VERSION:
             raise IndexStoreMiss(
@@ -244,7 +312,7 @@ class IndexStore:
                 f"index entry {entry} was built for different lake contents"
             )
 
-        state, arrays = self._read_payloads(entry, manifest)
+        state, arrays = self._backend.read_payloads(backend_key, entry_key, manifest)
         try:
             searcher.load_index_state(lake, state, arrays)
         except Exception as exc:
@@ -254,30 +322,8 @@ class IndexStore:
             raise ServingError(
                 f"persisted index entry {entry} failed to deserialize: {exc}"
             ) from exc
+        self._backend.touch(backend_key, entry_key)
         return searcher
-
-    def _read_payloads(self, entry: Path, manifest: dict) -> tuple[dict, dict]:
-        """Checksum-validate and read one entry's state + array payloads."""
-        for filename, expected in manifest.get("checksums", {}).items():
-            payload = entry / filename
-            if not payload.is_file() or _file_checksum(payload) != expected:
-                raise ServingError(
-                    f"persisted index payload {payload} is missing or corrupt "
-                    "(checksum mismatch)"
-                )
-        try:
-            state = json.loads((entry / _STATE).read_text())
-            with np.load(entry / _ARRAYS) as payload:
-                arrays = {key: payload[key] for key in payload.files}
-        except (OSError, json.JSONDecodeError, ValueError) as exc:
-            # The entry can vanish between checksum validation and these
-            # reads — a concurrent evict_cold/_evict_superseded rmtree.
-            # Surface it as corruption so load_or_build heals with a build.
-            raise ServingError(
-                f"persisted index entry {entry} became unreadable mid-load "
-                f"(concurrent eviction?): {exc}"
-            ) from exc
-        return state, arrays
 
     # ------------------------------------------------------------ delta update
     def _update_from_prior(
@@ -297,12 +343,9 @@ class IndexStore:
         """
         current = lake.table_fingerprints()
         config_fingerprint = searcher.config_fingerprint()
-        best: tuple[int, Path, dict, list[str], list[str]] | None = None
-        for manifest_path in self.backend_dir(searcher).glob(f"*/{_MANIFEST}"):
-            try:
-                manifest = json.loads(manifest_path.read_text())
-            except (OSError, json.JSONDecodeError):
-                continue
+        backend_key = self._backend_key(searcher)
+        best: tuple[int, str, dict, list[str], list[str]] | None = None
+        for entry_key, manifest in self._backend.iter_manifests(backend_key):
             if manifest.get("store_format") != STORE_FORMAT_VERSION:
                 continue
             if manifest.get("config_fingerprint") != config_fingerprint:
@@ -316,14 +359,14 @@ class IndexStore:
             if changes == 0:
                 continue  # identical content would have been an exact hit
             if best is None or changes < best[0]:
-                best = (changes, manifest_path.parent, manifest, added, removed)
+                best = (changes, entry_key, manifest, added, removed)
         if best is None:
             return None
-        changes, entry, manifest, added, removed = best
+        changes, entry_key, manifest, added, removed = best
         if changes > self.max_delta_fraction * max(lake.num_tables, 1):
             return None
         try:
-            state, arrays = self._read_payloads(entry, manifest)
+            state, arrays = self._backend.read_payloads(backend_key, entry_key, manifest)
             searcher.load_index_state(lake, state, arrays)
             searcher.update_index(
                 added=[lake.get(name) for name in added], removed=removed
